@@ -1,0 +1,101 @@
+// Experiment FIG1 (paper Figure 1 / Section 3): the sensible zone — "one of
+// the elementary failure points of the SoC in which one or more faults
+// converge to lead [to] a failure" — demonstrated by extracting zones and
+// their converging cones, and showing how distinct physical faults in one
+// cone all manifest as the same zone failure.
+#include "bench_util.hpp"
+#include "fault/harness.hpp"
+#include "zones/extract.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("FIG1", "Figure 1: faults converging into sensible zones");
+  auto& f = benchutil::frmem();
+  const auto& db = f.flowV2.zones();
+
+  std::cout << "zone decomposition of " << f.v2.nl.name() << " ("
+            << db.size() << " zones):\n";
+  std::cout << "  zone                              kind           cone-gates"
+               "  support-ffs  width\n";
+  std::size_t shown = 0;
+  for (const auto& z : db.zones()) {
+    if (z.kind != zones::ZoneKind::Register &&
+        z.kind != zones::ZoneKind::Memory) {
+      continue;
+    }
+    if (shown++ >= 14) break;
+    std::printf("  %-33s %-14s %9zu  %10zu  %5zu\n", z.name.substr(0, 32).c_str(),
+                std::string(zones::zoneKindName(z.kind)).c_str(),
+                z.stats.gateCount, z.stats.supportFfs, z.width());
+  }
+
+  // Demonstrate convergence: distinct stuck-at faults in the cone of one
+  // zone, all observed as a failure of that zone.
+  const auto zid = db.findZone("dec/s1_syn");
+  if (zid) {
+    const auto& z = db.zone(*zid);
+    sim::Simulator sim(f.v2.nl);
+    memsys::ProtectionIpWorkload wl(f.v2, benchutil::workloadOptions(400));
+    std::size_t converged = 0;
+    std::size_t tried = 0;
+    for (std::size_t gi = 0; gi < z.cone.gates.size() && tried < 24; gi += 7) {
+      ++tried;
+      fault::Fault flt;
+      flt.kind = fault::FaultKind::StuckAt1;
+      flt.cell = z.cone.gates[gi];
+      flt.net = f.v2.nl.cell(flt.cell).output;
+      fault::FaultHarness h(flt);
+
+      // Golden zone trace.
+      wl.restart();
+      sim.reset();
+      std::vector<std::uint64_t> golden;
+      for (std::uint64_t c = 0; c < wl.cycles(); ++c) {
+        wl.drive(sim, c);
+        wl.backdoor(sim, c);
+        sim.evalComb();
+        golden.push_back(sim.busValue(z.valueNets));
+        sim.clockEdge();
+      }
+      // Faulty run.
+      wl.restart();
+      sim.reset();
+      h.install(sim);
+      bool deviated = false;
+      for (std::uint64_t c = 0; c < wl.cycles() && !deviated; ++c) {
+        wl.drive(sim, c);
+        wl.backdoor(sim, c);
+        sim.evalComb();
+        deviated = sim.busValue(z.valueNets) != golden[c];
+        sim.clockEdge();
+      }
+      h.remove(sim);
+      if (deviated) ++converged;
+    }
+    std::cout << "\nconvergence demo on zone 'dec/s1_syn' (cone of "
+              << z.cone.gates.size() << " gates): " << converged << "/"
+              << tried << " sampled cone stuck-at faults manifested as a"
+              << " failure of the zone\n";
+  }
+}
+
+void BM_FaninCone(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  const auto& db = f.flowV2.zones();
+  const auto zid = db.findZone("dec/s1_code");
+  const auto& z = db.zone(*zid);
+  for (auto _ : state) {
+    const auto cone = netlist::faninCone(f.v2.nl, z.coneRoots);
+    benchmark::DoNotOptimize(cone.gates.size());
+  }
+}
+BENCHMARK(BM_FaninCone)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

@@ -1,0 +1,84 @@
+// Experiment T-FMEA (paper Section 6): the v1 analysis — "about 170 sensible
+// zones resulted, including the memory controller, the memory and the
+// F-MEM/MCE blocks" — and the criticality ranking naming the BIST control
+// logic, address-latching registers, decoder blocks, write-buffer registers
+// and MCE bus registers.  Plus the register-compaction ablation.
+#include "bench_util.hpp"
+#include "fmea/report.hpp"
+#include "netlist/stats.hpp"
+#include "zones/extract.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("T-FMEA", "Section 6: zone inventory + criticality ranking (v1)");
+  auto& f = benchutil::frmem();
+
+  const auto stats = netlist::computeStats(f.v1.nl);
+  netlist::printStats(std::cout, f.v1.nl, stats);
+
+  std::cout << "\nsensible zones extracted: " << f.flowV1.zones().size()
+            << "  (paper: 'about 170')\n";
+  std::size_t byKind[7] = {};
+  for (const auto& z : f.flowV1.zones().zones()) {
+    ++byKind[static_cast<std::size_t>(z.kind)];
+  }
+  for (std::size_t k = 0; k < 7; ++k) {
+    if (byKind[k] == 0) continue;
+    std::cout << "  " << zones::zoneKindName(static_cast<zones::ZoneKind>(k))
+              << ": " << byKind[k] << "\n";
+  }
+  const auto census = f.flowV1.zones().census();
+  std::cout << "fault-site census: local " << census.local << ", wide "
+            << census.wide << ", global " << census.global << "\n\n";
+
+  fmea::printRanking(std::cout, f.flowV1.sheet(), 12);
+  std::cout << "(paper names: BIST control logic, address-latching registers,"
+               " decoder blocks,\n write-buffer registers, MCE bus-interface"
+               " blocks — compare the zone names above)\n";
+
+  // Ablation: zone count without register compaction.
+  zones::ExtractOptions noCompact;
+  noCompact.compactRegisters = false;
+  noCompact.criticalNetFanout = 32;
+  const auto dbFlat = zones::extractZones(f.v1.nl, noCompact);
+  std::cout << "\nablation — register compaction: " << f.flowV1.zones().size()
+            << " zones compacted vs " << dbFlat.size()
+            << " with one zone per flip-flop\n";
+}
+
+void BM_ZoneExtraction(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  zones::ExtractOptions opt;
+  opt.criticalNetFanout = 32;
+  for (auto _ : state) {
+    const auto db = zones::extractZones(f.v1.nl, opt);
+    benchmark::DoNotOptimize(db.size());
+  }
+}
+BENCHMARK(BM_ZoneExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_CorrelationMatrix(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    const zones::CorrelationMatrix corr(f.flowV1.zones());
+    benchmark::DoNotOptimize(corr.zoneCount());
+  }
+}
+BENCHMARK(BM_CorrelationMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_RankingQuery(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.flowV1.sheet().ranking(10).size());
+  }
+}
+BENCHMARK(BM_RankingQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

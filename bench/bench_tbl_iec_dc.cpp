@@ -1,0 +1,34 @@
+// Experiment T-DC (paper Sections 2/4): the IEC 61508-2 Annex A technique
+// catalogue with the maximum diagnostic coverage considered achievable
+// ("RAM monitoring with Hamming code or ECCs or double RAMs with
+// hardware/software comparison are the ones with the highest value").
+#include "bench_util.hpp"
+#include "fmea/report.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("T-DC", "Annex A.2-A.13: technique -> max DC");
+  fmea::printTechniqueTable(std::cout);
+  std::cout << "highest-value memory techniques (paper quote):\n"
+            << "  ram-ecc            max DC "
+            << fmea::maxDcFor("ram-ecc") * 100.0 << "%\n"
+            << "  ram-double-compare max DC "
+            << fmea::maxDcFor("ram-double-compare") * 100.0 << "%\n";
+}
+
+void BM_TechniqueLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fmea::findTechnique("ram-ecc"));
+    benchmark::DoNotOptimize(fmea::maxDcFor("syndrome-distributed"));
+  }
+}
+BENCHMARK(BM_TechniqueLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

@@ -1,0 +1,45 @@
+// Experiment T-SENS (paper Sections 4/6): span the assumptions (FIT rates,
+// S/D factors, frequency classes, lifetimes, DDF estimates) and measure the
+// sensitivity of DC/SFF.  The paper's v2 result "was very stable as well,
+// i.e. changes on S,D,F and fault models didn't change the result in a
+// sensible way" — v1's spans are visibly wider.
+#include "bench_util.hpp"
+#include "fmea/report.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("T-SENS", "Sections 4/6: assumption spans vs SFF stability");
+  auto& f = benchutil::frmem();
+
+  std::cout << "--- v1 ---\n";
+  const auto r1 = f.flowV1.sensitivity();
+  fmea::printSensitivity(std::cout, r1);
+  std::cout << "\n--- v2 ---\n";
+  const auto r2 = f.flowV2.sensitivity();
+  fmea::printSensitivity(std::cout, r2);
+
+  std::cout << "\nstability verdicts (tolerance 2 pt, SIL3 floor 99%):\n"
+            << "  v1 stable: " << (r1.stable(0.02, 0.99) ? "yes" : "no")
+            << " (max |delta| " << r1.maxAbsDelta() * 100.0 << " pt)\n"
+            << "  v2 stable: " << (r2.stable(0.02, 0.975) ? "yes" : "no")
+            << " (max |delta| " << r2.maxAbsDelta() * 100.0 << " pt)\n"
+            << "paper: v2 'very stable'; v1 never claimed stability at SIL3.\n";
+}
+
+void BM_SensitivitySweepV2(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    const auto res = f.flowV2.sensitivity();
+    benchmark::DoNotOptimize(res.maxAbsDelta());
+  }
+}
+BENCHMARK(BM_SensitivitySweepV2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

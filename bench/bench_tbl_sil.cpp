@@ -1,0 +1,40 @@
+// Experiment T-SIL (paper Section 2): the IEC 61508-2 architectural
+// constraints — SIL grant as a function of SFF band and HFT, for type-A and
+// type-B elements, including the quoted SIL3 thresholds.
+#include "bench_util.hpp"
+#include "fmea/report.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("T-SIL", "Section 2: SFF/HFT -> SIL grant tables");
+  fmea::printSilTable(std::cout);
+  std::cout << "paper-quoted thresholds:\n"
+            << "  SIL3 @ HFT0 (type B) requires SFF >= "
+            << fmea::requiredSff(fmea::Sil::Sil3, 0, fmea::ElementType::TypeB) *
+                   100.0
+            << "%\n"
+            << "  SIL3 @ HFT1 (type B) requires SFF >= "
+            << fmea::requiredSff(fmea::Sil::Sil3, 1, fmea::ElementType::TypeB) *
+                   100.0
+            << "%\n";
+}
+
+void BM_SilLookup(benchmark::State& state) {
+  double sff = 0.5;
+  for (auto _ : state) {
+    sff += 1e-7;
+    if (sff > 1.0) sff = 0.5;
+    benchmark::DoNotOptimize(
+        fmea::silFromSff(sff, 1, fmea::ElementType::TypeB));
+  }
+}
+BENCHMARK(BM_SilLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

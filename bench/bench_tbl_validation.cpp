@@ -1,0 +1,144 @@
+// Experiment T-VAL (paper Section 5): the four-step FMEA validation flow —
+// (a) exhaustive sensible-zone failure injection cross-checked against the
+// FMEA, (b) workload toggle coverage >= 99 %, (c) selective local faults on
+// the critical areas + fault-simulator permanent-fault DC vs the claimed
+// DDF, (d) selective wide/global faults confirming the multiple-failure
+// predictions.  Ablation: serial vs 64-lane parallel fault simulation.
+#include "bench_util.hpp"
+#include "core/validation.hpp"
+#include "fault/collapse.hpp"
+#include "faultsim/parallel.hpp"
+#include "inject/workload.hpp"
+#include "netlist/builder.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+void printTable() {
+  benchutil::banner("T-VAL", "Section 5: validation steps a-d on v2");
+  auto& f = benchutil::frmem();
+  memsys::ProtectionIpWorkload wl(f.v2, benchutil::workloadOptions(2000));
+  core::ValidationOptions opt;
+  opt.zoneFailuresPerBit = 1;
+  const auto rep = core::runValidationFlow(f.flowV2, wl, opt);
+  core::printValidationFlow(std::cout, rep);
+  inject::printValidation(std::cout, rep.zoneValidation, 12);
+  std::cout << "detection latency over the zone campaign: mean "
+            << rep.zoneCampaign.meanDetectionLatency() << " cycles, max "
+            << rep.zoneCampaign.maxDetectionLatency()
+            << " cycles (process-safety-time input)\n";
+
+  // Latent-fault degradation: the same SEU campaign with a pre-existing
+  // stuck-at silencing the monitored-outputs alarm — why HFT 0 architectures
+  // need the latent-fault self-test (the chk_test strobe at boot).
+  {
+    const auto env =
+        inject::EnvironmentBuilder(f.flowV2.zones(), f.flowV2.effects())
+            .withSeed(7)
+            .withDetectionWindow(24)
+            .build();
+    inject::InjectionManager mgr(f.v2.nl, env);
+    const auto profile =
+        inject::OperationalProfile::record(f.flowV2.zones(), wl);
+    // Campaign faults: SEUs on the output registers (covered by the
+    // monitored-outputs comparator in the healthy design).
+    fault::FaultList seus;
+    for (const auto& zf : mgr.zoneFailureFaults(profile, 2, 7)) {
+      if (f.v2.nl.cell(zf.cell != netlist::kNoCell ? zf.cell : 0)
+              .name.find("out/rdata_r") != std::string::npos) {
+        seus.push_back(zf);
+      }
+    }
+    const auto healthy = mgr.run(wl, seus);
+
+    fault::Fault latent;
+    latent.kind = fault::FaultKind::StuckAt0;
+    latent.net = *f.v2.nl.findNet("out/alarm_out_r_q");
+    inject::CampaignOptions copt;
+    copt.preexisting = latent;
+    const auto degraded = mgr.run(wl, seus, nullptr, copt);
+
+    std::cout << "\nlatent-fault degradation (" << seus.size()
+              << " output-register SEUs):\n"
+              << "  healthy diagnostics:   measured DDF "
+              << healthy.measuredDdf() * 100.0 << "%\n"
+              << "  latent alarm stuck-at: measured DDF "
+              << degraded.measuredDdf() * 100.0 << "%\n"
+              << "expected shape: a large DDF drop — the latent fault "
+                 "defeats the shadow-register\ncomparator, which is why the "
+                 "boot-time chk_test strobe must prove it alive.\n";
+  }
+}
+
+// Pure-logic design for the serial-vs-parallel ablation (BitSim does not
+// carry behavioural memories).
+struct LogicOnly {
+  netlist::Netlist n{"logic"};
+  netlist::NetId rst;
+  netlist::Bus a, b;
+
+  LogicOnly() {
+    netlist::Builder bl(n);
+    rst = bl.input("rst");
+    a = bl.inputBus("a", 16);
+    b = bl.inputBus("b", 16);
+    auto sum = bl.adder(a, b);
+    auto q1 = bl.registerBus("s1", sum, netlist::kNoNet, rst, 0);
+    auto prod = bl.xorBus(q1, bl.adder(q1, b));
+    auto q2 = bl.registerBus("s2", prod, netlist::kNoNet, rst, 0);
+    bl.outputBus("y", q2);
+    bl.output("par", bl.reduceXor(q2));
+    n.check();
+  }
+};
+
+LogicOnly& logicDesign() {
+  static LogicOnly d;
+  return d;
+}
+
+void BM_SerialFaultSim(benchmark::State& state) {
+  auto& d = logicDesign();
+  inject::RandomWorkload wl(d.n, 128, 9, {{d.rst, false}});
+  auto faults = fault::allStuckAtFaults(d.n);
+  fault::collapseStuckAt(d.n, faults);
+  for (auto _ : state) {
+    const auto res = faultsim::runSerialFaultSim(d.n, wl, faults);
+    benchmark::DoNotOptimize(res.coverage());
+    state.counters["faults/s"] = benchmark::Counter(
+        static_cast<double>(faults.size()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_SerialFaultSim)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelFaultSim(benchmark::State& state) {
+  auto& d = logicDesign();
+  inject::RandomWorkload wl(d.n, 128, 9, {{d.rst, false}});
+  auto faults = fault::allStuckAtFaults(d.n);
+  fault::collapseStuckAt(d.n, faults);
+  const auto stim = faultsim::recordStimulus(d.n, wl);
+  for (auto _ : state) {
+    const auto res = faultsim::runParallelFaultSim(d.n, stim, faults);
+    benchmark::DoNotOptimize(res.coverage());
+    state.counters["faults/s"] = benchmark::Counter(
+        static_cast<double>(faults.size()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_ParallelFaultSim)->Unit(benchmark::kMillisecond);
+
+void BM_ToggleCoverage(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  memsys::ProtectionIpWorkload wl(f.v2, benchutil::workloadOptions(800));
+  for (auto _ : state) {
+    const auto tc = faultsim::measureToggle(f.v2.nl, wl);
+    benchmark::DoNotOptimize(tc.onceFraction());
+  }
+}
+BENCHMARK(BM_ToggleCoverage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

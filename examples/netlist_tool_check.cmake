@@ -1,0 +1,23 @@
+# Round-trip smoke test for the netlist_tool CLI: emit the v2 reference
+# design, then run stats / zones / fmea over the emitted .snl file.
+execute_process(COMMAND ${TOOL} emit v2 ${WORK}/frmem_v2.snl RESULT_VARIABLE rc1)
+execute_process(COMMAND ${TOOL} stats ${WORK}/frmem_v2.snl RESULT_VARIABLE rc2
+                OUTPUT_VARIABLE stats)
+execute_process(COMMAND ${TOOL} zones ${WORK}/frmem_v2.snl RESULT_VARIABLE rc3
+                OUTPUT_QUIET)
+execute_process(COMMAND ${TOOL} fmea ${WORK}/frmem_v2.snl alarm_
+                RESULT_VARIABLE rc4 OUTPUT_VARIABLE fmea)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0 OR NOT rc3 EQUAL 0 OR NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "netlist_tool failed: ${rc1} ${rc2} ${rc3} ${rc4}")
+endif()
+if(NOT stats MATCHES "flip-flops")
+  message(FATAL_ERROR "stats output missing expected fields")
+endif()
+if(NOT fmea MATCHES "SFF")
+  message(FATAL_ERROR "fmea output missing the SFF verdict")
+endif()
+execute_process(COMMAND ${TOOL} srs ${WORK}/frmem_v2.snl alarm_
+                RESULT_VARIABLE rc5 OUTPUT_VARIABLE srs)
+if(NOT rc5 EQUAL 0 OR NOT srs MATCHES "Safety Requirements Specification")
+  message(FATAL_ERROR "srs generation failed")
+endif()

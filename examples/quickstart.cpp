@@ -1,0 +1,62 @@
+// Quickstart: the SoC-level FMEA methodology on a small design.
+//
+//   1. build (or load) a gate-level netlist,
+//   2. extract the sensible zones,
+//   3. fill the FMEA sheet and add diagnostic-coverage claims,
+//   4. read off DC / SFF and the SIL grant.
+//
+// The design is a tiny protected register file: two registers, a parity bit,
+// and a comparator alarm — enough to see every concept of the flow.
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "core/flow_report.hpp"
+#include "netlist/builder.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+netlist::Netlist buildTinyDesign() {
+  netlist::Netlist nl("tiny_regfile");
+  netlist::Builder b(nl);
+
+  const auto rst = b.input("rst");
+  const auto en = b.input("en");
+  const auto din = b.inputBus("din", 8);
+
+  // Payload register with a parity bit stored alongside (the diagnostic).
+  const auto q = b.registerBus("u_reg/data", din, en, rst, 0);
+  const auto parIn = b.reduceXor(din);
+  const auto parQ = b.dff("u_reg/par", parIn, en, rst, false);
+
+  // Continuous parity checker: alarm when the stored parity disagrees.
+  const auto parNow = b.reduceXor(q);
+  const auto alarm = b.bxor(parNow, parQ);
+
+  b.outputBus("dout", q);
+  b.output("alarm_parity", alarm);
+  nl.check();
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  const netlist::Netlist nl = buildTinyDesign();
+
+  core::FlowConfig cfg;
+  cfg.alarmNames = {"alarm_"};
+  cfg.configureSheet = [](fmea::FmeaSheet& sheet, const zones::ZoneDatabase&) {
+    // Architecture knowledge: the stored parity detects single bit flips of
+    // the data register (one-bit redundancy -> "low" ceiling, 60 %).
+    sheet.addClaim("u_reg/data", "", fmea::DiagnosticClaim{"ram-parity", 0.60});
+    sheet.addClaim("u_reg/par", "", fmea::DiagnosticClaim{"ram-parity", 0.60});
+    sheet.setSafeFactors("", fmea::SdFactors{0.25, 0.0});
+  };
+
+  core::FmeaFlow flow(nl, cfg);
+  core::writeFlowReport(std::cout, flow);
+  std::cout << "\n" << core::verdictLine(flow) << "\n";
+  return 0;
+}

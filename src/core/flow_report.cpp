@@ -1,0 +1,60 @@
+#include "core/flow_report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "netlist/stats.hpp"
+
+namespace socfmea::core {
+
+void writeFlowReport(std::ostream& out, const FmeaFlow& flow,
+                     const FlowReportOptions& opt) {
+  const auto& nl = flow.design();
+  out << "==== SoC-level FMEA report: " << nl.name() << " ====\n\n";
+
+  const auto stats = netlist::computeStats(nl);
+  netlist::printStats(out, nl, stats);
+
+  out << "\nsensible zones: " << flow.zones().size() << "\n";
+  std::size_t byKind[7] = {};
+  for (const auto& z : flow.zones().zones()) {
+    ++byKind[static_cast<std::size_t>(z.kind)];
+  }
+  for (std::size_t k = 0; k < 7; ++k) {
+    if (byKind[k] == 0) continue;
+    out << "  " << zones::zoneKindName(static_cast<zones::ZoneKind>(k)) << ": "
+        << byKind[k] << "\n";
+  }
+  const auto census = flow.zones().census();
+  out << "fault-site census: local " << census.local << ", wide "
+      << census.wide << ", global " << census.global << ", unassigned "
+      << census.unassigned << "\n\n";
+
+  fmea::printSummary(out, flow.sheet());
+  out << "\n";
+  fmea::printRanking(out, flow.sheet(), opt.rankingTop);
+  if (opt.sheetRows != 0) {
+    out << "\n";
+    fmea::printSheet(out, flow.sheet(), opt.sheetRows);
+  }
+  if (opt.includeCorrelation) {
+    out << "\n";
+    flow.correlation().print(out, flow.zones(), 10);
+  }
+  if (opt.includeSensitivity) {
+    out << "\n";
+    fmea::printSensitivity(out, flow.sensitivity());
+  }
+}
+
+std::string verdictLine(const FmeaFlow& flow) {
+  std::ostringstream ss;
+  ss << flow.design().name() << ": SFF " << std::fixed << std::setprecision(2)
+     << flow.sff() * 100.0 << "% DC " << flow.dc() * 100.0 << "% -> "
+     << fmea::silName(flow.sil()) << " (HFT " << flow.sheet().config().hft
+     << ")";
+  return ss.str();
+}
+
+}  // namespace socfmea::core

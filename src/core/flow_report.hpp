@@ -1,0 +1,26 @@
+// Full-flow report writer: the Safety Requirements Specification (SRS)
+// style summary the norm asks for — design statistics, zone inventory,
+// metrics, ranking, sensitivity and the SIL verdict, as one text document.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/flow.hpp"
+
+namespace socfmea::core {
+
+struct FlowReportOptions {
+  std::size_t rankingTop = 10;
+  std::size_t sheetRows = 0;      ///< 0 = omit the full row table
+  bool includeSensitivity = true;
+  bool includeCorrelation = true;
+};
+
+/// Writes the complete analysis report for a flow.
+void writeFlowReport(std::ostream& out, const FmeaFlow& flow,
+                     const FlowReportOptions& opt = {});
+
+/// One-line verdict, e.g. "frmem_v2: SFF 99.38% DC 98.1% -> SIL3 (HFT 0)".
+[[nodiscard]] std::string verdictLine(const FmeaFlow& flow);
+
+}  // namespace socfmea::core

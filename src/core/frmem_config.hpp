@@ -1,0 +1,25 @@
+// Canonical FMEA flow configuration for the frmem protection IP (the paper's
+// Section-6 experiment).  Encodes the architecture knowledge the YOGITECH
+// engineers entered in the spreadsheet: component classes, S/D factors,
+// frequency classes, and — crucially — the per-version DDF claims:
+//
+//   v1: SEC-DED ECC on the array (but NOT on addressing), scrubbing; the
+//       decoder, write buffer, address latching and MCE bus registers are
+//       uncovered -> SFF lands around 95 %, short of SIL3.
+//   v2: address-in-code, write-buffer parity, post-coder checker,
+//       double-redundant pipeline checker, distributed syndrome checking,
+//       SW start-up tests -> SFF >= 99 % (paper: 99.38 %), SIL3.
+#pragma once
+
+#include "core/flow.hpp"
+#include "memsys/gatelevel.hpp"
+
+namespace socfmea::core {
+
+/// Builds the complete flow configuration for a generated protection IP.
+/// The claims entered depend on design.options (each v2 measure contributes
+/// its claims only when present, enabling the per-measure ablation).
+[[nodiscard]] FlowConfig makeFrmemFlowConfig(
+    const memsys::GateLevelDesign& design);
+
+}  // namespace socfmea::core

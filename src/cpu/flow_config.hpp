@@ -1,0 +1,19 @@
+// Canonical FMEA flow configuration for the tiny-CPU case study: the
+// processing-unit failure modes of IEC 61508-2 table A.1 (DC faults in
+// registers, dynamic cross-over, "wrong coding or wrong execution"), with
+// the safety-architecture claims:
+//
+//   plain      no claims — the SFF is whatever masking provides;
+//   lockstep   "comparator" (Annex A.4, max DC high) on every core zone;
+//   + stl      "self-test by software" on permanent modes, and a CRC claim
+//              on the program ROM.
+#pragma once
+
+#include "core/flow.hpp"
+#include "cpu/gatelevel.hpp"
+
+namespace socfmea::cpu {
+
+[[nodiscard]] core::FlowConfig makeCpuFlowConfig(const CpuDesign& design);
+
+}  // namespace socfmea::cpu

@@ -1,0 +1,215 @@
+#include "cpu/gatelevel.hpp"
+
+#include <array>
+
+namespace socfmea::cpu {
+
+using netlist::Builder;
+using netlist::Bus;
+using netlist::kNoNet;
+using netlist::NetId;
+
+namespace {
+
+// Creates a register whose D logic may depend on its own Q: the Q nets are
+// allocated first, the caller computes D from them, then wire() closes the
+// loop through the flip-flops.
+Bus allocQ(Builder& b, netlist::Netlist& nl, std::string_view name,
+           std::size_t width) {
+  Bus q(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    q[i] = nl.addNet(b.qualify(std::string(name) + "_" + std::to_string(i) +
+                               "_q"));
+  }
+  return q;
+}
+
+void wireQ(Builder& b, netlist::Netlist& nl, std::string_view name,
+           const Bus& q, const Bus& d, NetId en, NetId rst) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    nl.addDff(b.qualify(std::string(name) + "_" + std::to_string(i)), d[i],
+              q[i], en, rst, false);
+  }
+}
+
+// Builds one core inside the current scope; `instr` is the fetched byte.
+CoreHandles buildCore(Builder& b, netlist::Netlist& nl, NetId rst,
+                      const Bus& instr) {
+  CoreHandles h;
+
+  // State registers (Q nets first — the datapath loops through them).
+  Bus pcQ = allocQ(b, nl, "pc", kProgAddrBits);
+  Bus accQ = allocQ(b, nl, "acc", kWordBits);
+  std::array<Bus, kRegCount> regQ;
+  for (std::size_t r = 0; r < kRegCount; ++r) {
+    regQ[r] = allocQ(b, nl, "r" + std::to_string(r), kWordBits);
+  }
+  const NetId zQ = nl.addNet(b.qualify("zflag_q"));
+  const NetId phaseQ = nl.addNet(b.qualify("phase_q"));
+  Bus outQ = allocQ(b, nl, "out", kWordBits);
+  const NetId haltQ = nl.addNet(b.qualify("halted_q"));
+
+  // Phase toggles every cycle: 0 = FETCH, 1 = EXEC.
+  nl.addDff(b.qualify("phase"), b.bnot(phaseQ), phaseQ, kNoNet, rst, false);
+  const NetId exec = phaseQ;
+
+  // Decode.
+  const Bus op = Builder::slice(instr, 4, 4);
+  const Bus nib = Builder::slice(instr, 0, 4);
+  const Bus rsel = Builder::slice(instr, 0, 2);
+  const auto is = [&](Op o) {
+    return b.equalConst(op, static_cast<std::uint64_t>(o));
+  };
+  const NetId isLdi = is(Op::Ldi);
+  const NetId isLdhi = is(Op::Ldhi);
+  const NetId isAdd = is(Op::Add);
+  const NetId isSub = is(Op::Sub);
+  const NetId isSta = is(Op::Sta);
+  const NetId isLda = is(Op::Lda);
+  const NetId isXor = is(Op::Xorr);
+  const NetId isJnz = is(Op::Jnz);
+  const NetId isOut = is(Op::Out);
+  const NetId isJmp = is(Op::Jmp);
+  const NetId isHalt = is(Op::Halt);
+
+  // Register-file read port.
+  const Bus m01 = b.muxBus(rsel[0], regQ[0], regQ[1]);
+  const Bus m23 = b.muxBus(rsel[0], regQ[2], regQ[3]);
+  const Bus regRead = b.muxBus(rsel[1], m01, m23);
+
+  // ALU.
+  const Bus sum = b.adder(accQ, regRead);
+  const Bus diff = b.adder(accQ, b.notBus(regRead), b.constNet(true));
+  const Bus xorRes = b.xorBus(accQ, regRead);
+  const Bus ldiRes = Builder::concat(nib, Builder::slice(accQ, 4, 4));
+  const Bus ldhiRes = Builder::concat(Builder::slice(accQ, 0, 4), nib);
+
+  Bus accNext = accQ;
+  accNext = b.muxBus(isLdi, accNext, ldiRes);
+  accNext = b.muxBus(isLdhi, accNext, ldhiRes);
+  accNext = b.muxBus(isAdd, accNext, sum);
+  accNext = b.muxBus(isSub, accNext, diff);
+  accNext = b.muxBus(isLda, accNext, regRead);
+  accNext = b.muxBus(isXor, accNext, xorRes);
+
+  const NetId accWrites =
+      b.reduceOr({isLdi, isLdhi, isAdd, isSub, isLda, isXor});
+  const NetId accEn = b.band(exec, accWrites);
+  wireQ(b, nl, "acc", accQ, accNext, accEn, rst);
+
+  // Z flag: set by the value-producing ALU ops.
+  const NetId zIn = b.bnot(b.reduceOr(accNext));
+  const NetId zEn =
+      b.band(exec, b.reduceOr({isAdd, isSub, isLda, isXor}));
+  nl.addDff(b.qualify("zflag"), zIn, zQ, zEn, rst, false);
+
+  // Register file writes (STA).
+  const Bus rdec = b.decodeOneHot(rsel);
+  for (std::size_t r = 0; r < kRegCount; ++r) {
+    const NetId en = b.band(exec, b.band(isSta, rdec[r]));
+    wireQ(b, nl, "r" + std::to_string(r), regQ[r], accQ, en, rst);
+  }
+
+  // PC: +1, or the quadword-aligned branch target.
+  const Bus pcPlus1 = b.incrementer(pcQ);
+  Bus target(kProgAddrBits);
+  target[0] = b.constNet(false);
+  target[1] = b.constNet(false);
+  for (std::size_t i = 0; i < 4; ++i) target[2 + i] = nib[i];
+  const NetId takeBranch =
+      b.bor(isJmp, b.band(isJnz, b.bnot(zQ)));
+  const Bus pcNext = b.muxBus(takeBranch, pcPlus1, target);
+  const NetId pcEn = b.band(exec, b.bnot(isHalt));
+  wireQ(b, nl, "pc", pcQ, pcNext, pcEn, rst);
+
+  // OUT port and the sticky halted flag.
+  wireQ(b, nl, "out", outQ, accQ, b.band(exec, isOut), rst);
+  nl.addDff(b.qualify("halted"), b.bor(haltQ, b.band(exec, isHalt)), haltQ,
+            kNoNet, rst, false);
+
+  h.pc = pcQ;
+  h.acc = accQ;
+  h.out = outQ;
+  h.halted = haltQ;
+  return h;
+}
+
+}  // namespace
+
+CpuDesign buildTinyCpu(const CpuOptions& opt) {
+  CpuDesign d;
+  d.options = opt;
+  d.nl.setName(opt.lockstep ? "tinycpu_lockstep" : "tinycpu_plain");
+  Builder b(d.nl);
+  d.rst = b.input("rst");
+
+  // Program memory: behavioural ROM (the workload loads the image through
+  // the deterministic backdoor; the write port is tied off).
+  Bus memRdata(kWordBits);
+  Bus memAddrStub(kProgAddrBits);
+  {
+    Builder::Scope s(b, "prog");
+    for (std::uint32_t i = 0; i < kWordBits; ++i) {
+      memRdata[i] = d.nl.addNet(b.qualify("rdata_" + std::to_string(i)));
+    }
+    // The address port is wired to core0's PC after the core exists; use
+    // placeholder nets closed below.
+    for (std::uint32_t i = 0; i < kProgAddrBits; ++i) {
+      memAddrStub[i] = d.nl.addNet(b.qualify("addr_" + std::to_string(i)));
+    }
+    netlist::MemoryInst m;
+    m.name = "prog/rom";
+    m.addrBits = kProgAddrBits;
+    m.dataBits = kWordBits;
+    m.addr = memAddrStub;
+    m.wdata = b.constBus(0, kWordBits);
+    m.rdata = memRdata;
+    m.writeEnable = b.constNet(false);
+    d.nl.addMemory(std::move(m));
+  }
+
+  CoreHandles c0;
+  CoreHandles c1;
+  {
+    Builder::Scope s(b, "cpu0");
+    c0 = buildCore(b, d.nl, d.rst, memRdata);
+  }
+  if (opt.lockstep) {
+    Builder::Scope s(b, "cpu1");
+    c1 = buildCore(b, d.nl, d.rst, memRdata);
+  }
+  d.core0 = c0;
+
+  // Close the fetch loop: the ROM address is core0's PC.
+  for (std::uint32_t i = 0; i < kProgAddrBits; ++i) {
+    d.nl.addCell(netlist::CellType::Buf, "prog/addrbuf_" + std::to_string(i),
+                 {c0.pc[i]}, memAddrStub[i]);
+  }
+
+  // Lockstep comparator: PC, ACC and OUT of the two channels must agree.
+  if (opt.lockstep) {
+    Builder::Scope s(b, "lockchk");
+    Bus cmp;
+    for (std::size_t i = 0; i < c0.pc.size(); ++i) {
+      cmp.push_back(b.bxor(c0.pc[i], c1.pc[i]));
+    }
+    for (std::size_t i = 0; i < c0.acc.size(); ++i) {
+      cmp.push_back(b.bxor(c0.acc[i], c1.acc[i]));
+    }
+    for (std::size_t i = 0; i < c0.out.size(); ++i) {
+      cmp.push_back(b.bxor(c0.out[i], c1.out[i]));
+    }
+    const NetId mismatch = b.reduceOr(cmp);
+    const NetId alarmQ = b.dff("alarm_r", mismatch, kNoNet, d.rst, false);
+    b.output("alarm_lock", alarmQ);
+    d.alarmNames.push_back("alarm_lock");
+  }
+
+  b.outputBus("port", c0.out);
+  b.outputBus("pc_o", c0.pc);
+  b.output("halted", c0.halted);
+  d.nl.check();
+  return d;
+}
+
+}  // namespace socfmea::cpu

@@ -1,0 +1,56 @@
+// Gate-level generator for the tiny CPU — the processing-unit case study.
+// Options produce the three safety architectures the bench compares:
+//
+//   plain     one core, no safety mechanism;
+//   lockstep  two identical cores sharing the fetch stream, with a
+//             hardware comparator on PC/ACC/OUT ("comparator" technique,
+//             IEC Annex A.4, max DC "high");
+//   + stl     claims-only: the SW test library (the self-test program run
+//             at start-up) covering permanent faults.
+#pragma once
+
+#include "cpu/isa.hpp"
+#include "netlist/builder.hpp"
+
+namespace socfmea::cpu {
+
+struct CpuOptions {
+  bool lockstep = false;
+  bool stl = false;  ///< SW test library deployed (affects FMEA claims only)
+
+  [[nodiscard]] static CpuOptions plain() { return {}; }
+  [[nodiscard]] static CpuOptions lockstepCpu() {
+    CpuOptions o;
+    o.lockstep = true;
+    return o;
+  }
+  [[nodiscard]] static CpuOptions lockstepStl() {
+    CpuOptions o;
+    o.lockstep = true;
+    o.stl = true;
+    return o;
+  }
+};
+
+/// Handles into one generated core (all Q-nets).
+struct CoreHandles {
+  netlist::Bus pc;    // 6 bits
+  netlist::Bus acc;   // 8 bits
+  netlist::Bus out;   // 8 bits
+  netlist::NetId halted = netlist::kNoNet;
+};
+
+struct CpuDesign {
+  netlist::Netlist nl;
+  CpuOptions options;
+  netlist::NetId rst = netlist::kNoNet;
+  CoreHandles core0;
+  std::vector<std::string> alarmNames;  ///< non-empty for lockstep
+};
+
+/// Builds the design: program memory (behavioural, loaded by the workload's
+/// backdoor), one or two cores, optional lockstep comparator.  Primary
+/// outputs: port_0..7, pc_o_0..5, halted, and alarm_lock for lockstep.
+[[nodiscard]] CpuDesign buildTinyCpu(const CpuOptions& opt);
+
+}  // namespace socfmea::cpu

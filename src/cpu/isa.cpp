@@ -1,0 +1,97 @@
+#include "cpu/isa.hpp"
+
+namespace socfmea::cpu {
+
+std::string_view opName(Op op) noexcept {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::Ldi: return "ldi";
+    case Op::Ldhi: return "ldhi";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Sta: return "sta";
+    case Op::Lda: return "lda";
+    case Op::Xorr: return "xorr";
+    case Op::Jnz: return "jnz";
+    case Op::Out: return "out";
+    case Op::Jmp: return "jmp";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+std::string disassemble(std::uint8_t instr) {
+  const Op op = opOf(instr);
+  const std::uint8_t n = operandOf(instr);
+  std::string out{opName(op)};
+  switch (op) {
+    case Op::Ldi:
+    case Op::Ldhi:
+      out += " " + std::to_string(n);
+      break;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Sta:
+    case Op::Lda:
+    case Op::Xorr:
+      out += " r" + std::to_string(n & 0x3);
+      break;
+    case Op::Jnz:
+    case Op::Jmp:
+      out += " " + std::to_string(n * 4);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> padProgram(std::vector<std::uint8_t> code) {
+  code.resize(std::size_t{1} << kProgAddrBits, encode(Op::Halt));
+  return code;
+}
+
+std::vector<std::uint8_t> selfTestProgram() {
+  // Layout (quadword-aligned so branch targets are expressible):
+  //   0: seed r0..r3 with distinct patterns
+  //  16: loop body — exercise add/sub/xor/lda/sta, OUT the signature
+  //  ...: decrement the loop counter in r3, JNZ back to 16
+  std::vector<std::uint8_t> p;
+  const auto emit = [&](Op op, std::uint8_t n = 0) { p.push_back(encode(op, n)); };
+
+  // 0..15: seeding.
+  emit(Op::Ldi, 0x5);
+  emit(Op::Ldhi, 0xA);  // acc = 0xA5
+  emit(Op::Sta, 0);     // r0 = 0xA5
+  emit(Op::Ldi, 0xC);
+  emit(Op::Ldhi, 0x3);  // acc = 0x3C
+  emit(Op::Sta, 1);     // r1 = 0x3C
+  emit(Op::Ldi, 0x1);
+  emit(Op::Ldhi, 0x0);  // acc = 0x01
+  emit(Op::Sta, 2);     // r2 = 0x01 (signature)
+  emit(Op::Ldi, 0x8);
+  emit(Op::Ldhi, 0x0);  // acc = 0x08
+  emit(Op::Sta, 3);     // r3 = 8 (loop counter)
+  while (p.size() < 16) emit(Op::Nop);
+
+  // 16..: the loop body.
+  emit(Op::Lda, 2);   // acc = signature
+  emit(Op::Add, 0);   // + r0
+  emit(Op::Xorr, 1);  // ^ r1
+  emit(Op::Sub, 3);   // - counter
+  emit(Op::Sta, 2);   // signature back
+  emit(Op::Out);      // publish
+  emit(Op::Lda, 3);
+  emit(Op::Ldi, 0x1); // acc = (counter & 0xF0) | 1 — then subtract:
+  emit(Op::Sta, 1);   // r1 = decrement helper (also churns r1)
+  emit(Op::Lda, 3);
+  emit(Op::Sub, 1);   // counter - helper
+  emit(Op::Sta, 3);
+  emit(Op::Jnz, 4);   // while counter != 0 -> back to address 16
+  emit(Op::Lda, 2);
+  emit(Op::Out);      // final signature
+  emit(Op::Halt);
+  return padProgram(std::move(p));
+}
+
+}  // namespace socfmea::cpu

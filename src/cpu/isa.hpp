@@ -1,0 +1,75 @@
+// The tiny accumulator ISA used by the processing-unit case study (the
+// paper's closing application: "fault-robust microcontrollers for automotive
+// applications").  8-bit instructions: high nibble opcode, low nibble
+// operand (register select or immediate).
+//
+//   NOP          0x0-      no operation
+//   LDI  n       0x1n      acc[3:0]  <- n
+//   LDHI n       0x2n      acc[7:4]  <- n
+//   ADD  rN      0x3N      acc <- acc + rN          (updates Z)
+//   SUB  rN      0x4N      acc <- acc - rN          (updates Z)
+//   STA  rN      0x5N      rN  <- acc
+//   LDA  rN      0x6N      acc <- rN                (updates Z)
+//   XORR rN      0x7N      acc <- acc ^ rN          (updates Z)
+//   JNZ  t       0x8t      if !Z: pc <- t*4
+//   OUT          0x9-      out <- acc
+//   JMP  t       0xAt      pc <- t*4
+//   HALT         0xF-      pc holds
+//
+// Branch targets are quadword-aligned (t*4), covering the 64-word program
+// space with a 4-bit field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socfmea::cpu {
+
+inline constexpr std::uint32_t kProgAddrBits = 6;  ///< 64-word program space
+inline constexpr std::uint32_t kWordBits = 8;
+inline constexpr std::size_t kRegCount = 4;
+
+enum class Op : std::uint8_t {
+  Nop = 0x0,
+  Ldi = 0x1,
+  Ldhi = 0x2,
+  Add = 0x3,
+  Sub = 0x4,
+  Sta = 0x5,
+  Lda = 0x6,
+  Xorr = 0x7,
+  Jnz = 0x8,
+  Out = 0x9,
+  Jmp = 0xA,
+  Halt = 0xF,
+};
+
+[[nodiscard]] std::string_view opName(Op op) noexcept;
+
+/// Encodes one instruction byte.
+[[nodiscard]] constexpr std::uint8_t encode(Op op, std::uint8_t operand = 0) {
+  return static_cast<std::uint8_t>((static_cast<std::uint8_t>(op) << 4) |
+                                   (operand & 0x0F));
+}
+
+[[nodiscard]] constexpr Op opOf(std::uint8_t instr) {
+  return static_cast<Op>(instr >> 4);
+}
+[[nodiscard]] constexpr std::uint8_t operandOf(std::uint8_t instr) {
+  return instr & 0x0F;
+}
+
+/// Disassembles one instruction ("add r2", "jnz 12", ...).
+[[nodiscard]] std::string disassemble(std::uint8_t instr);
+
+/// A program image (padded with HALT to the full program space).
+[[nodiscard]] std::vector<std::uint8_t> padProgram(
+    std::vector<std::uint8_t> code);
+
+/// The reference self-test program: seeds the register file, exercises every
+/// opcode, accumulates a running signature and OUTs it each loop iteration —
+/// the "reusable verification component" for the CPU campaigns.
+[[nodiscard]] std::vector<std::uint8_t> selfTestProgram();
+
+}  // namespace socfmea::cpu

@@ -1,0 +1,76 @@
+#include "cpu/tinycpu.hpp"
+
+namespace socfmea::cpu {
+
+void TinyCpu::reset() {
+  pc_ = 0;
+  acc_ = 0;
+  regs_.fill(0);
+  z_ = false;
+  out_ = 0;
+  halted_ = false;
+  outs_.clear();
+}
+
+void TinyCpu::stepInstruction() {
+  if (halted_) return;
+  const std::uint8_t instr = program_[pc_ & ((1u << kProgAddrBits) - 1)];
+  const Op op = opOf(instr);
+  const std::uint8_t n = operandOf(instr);
+  const std::size_t r = n & 0x3;
+  std::uint8_t nextPc = static_cast<std::uint8_t>((pc_ + 1) &
+                                                  ((1u << kProgAddrBits) - 1));
+  switch (op) {
+    case Op::Nop:
+      break;
+    case Op::Ldi:
+      acc_ = static_cast<std::uint8_t>((acc_ & 0xF0) | n);
+      break;
+    case Op::Ldhi:
+      acc_ = static_cast<std::uint8_t>((acc_ & 0x0F) | (n << 4));
+      break;
+    case Op::Add:
+      acc_ = static_cast<std::uint8_t>(acc_ + regs_[r]);
+      z_ = acc_ == 0;
+      break;
+    case Op::Sub:
+      acc_ = static_cast<std::uint8_t>(acc_ - regs_[r]);
+      z_ = acc_ == 0;
+      break;
+    case Op::Sta:
+      regs_[r] = acc_;
+      break;
+    case Op::Lda:
+      acc_ = regs_[r];
+      z_ = acc_ == 0;
+      break;
+    case Op::Xorr:
+      acc_ = static_cast<std::uint8_t>(acc_ ^ regs_[r]);
+      z_ = acc_ == 0;
+      break;
+    case Op::Jnz:
+      if (!z_) nextPc = static_cast<std::uint8_t>(n * 4);
+      break;
+    case Op::Out:
+      out_ = acc_;
+      outs_.push_back(acc_);
+      break;
+    case Op::Jmp:
+      nextPc = static_cast<std::uint8_t>(n * 4);
+      break;
+    case Op::Halt:
+      halted_ = true;
+      nextPc = pc_;
+      break;
+  }
+  pc_ = nextPc;
+}
+
+std::vector<std::uint8_t> TinyCpu::run(std::size_t maxInstructions) {
+  for (std::size_t i = 0; i < maxInstructions && !halted_; ++i) {
+    stepInstruction();
+  }
+  return outs_;
+}
+
+}  // namespace socfmea::cpu

@@ -1,0 +1,47 @@
+// Instruction-set simulator (golden reference) for the tiny CPU.  The
+// gate-level core is verified against this ISS cycle by cycle (co-simulation
+// property test) — the "functional verification" leg the paper's injector
+// reuses as a workload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace socfmea::cpu {
+
+class TinyCpu {
+ public:
+  explicit TinyCpu(std::vector<std::uint8_t> program)
+      : program_(padProgram(std::move(program))) {}
+
+  void reset();
+
+  /// One instruction (= two hardware cycles: FETCH + EXEC).
+  void stepInstruction();
+
+  [[nodiscard]] std::uint8_t pc() const noexcept { return pc_; }
+  [[nodiscard]] std::uint8_t acc() const noexcept { return acc_; }
+  [[nodiscard]] std::uint8_t reg(std::size_t i) const { return regs_.at(i); }
+  [[nodiscard]] bool zflag() const noexcept { return z_; }
+  [[nodiscard]] std::uint8_t out() const noexcept { return out_; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  /// Runs until HALT or the instruction budget is exhausted; returns the
+  /// sequence of OUT values (the observable signature stream).
+  std::vector<std::uint8_t> run(std::size_t maxInstructions = 4096);
+
+ private:
+  std::vector<std::uint8_t> program_;
+  std::uint8_t pc_ = 0;
+  std::uint8_t acc_ = 0;
+  std::array<std::uint8_t, kRegCount> regs_{};
+  bool z_ = false;
+  std::uint8_t out_ = 0;
+  bool halted_ = false;
+  std::vector<std::uint8_t> outs_;
+};
+
+}  // namespace socfmea::cpu

@@ -1,0 +1,39 @@
+// Workload for the gate-level CPU: holds reset, loads the program image into
+// the behavioural ROM through the deterministic backdoor at cycle 0, then
+// lets the core run the program.  The observable stream is the OUT port —
+// the self-test signature the paper-style STL publishes.
+#pragma once
+
+#include "cpu/gatelevel.hpp"
+#include "sim/workload.hpp"
+
+namespace socfmea::cpu {
+
+class CpuWorkload final : public sim::Workload {
+ public:
+  CpuWorkload(const CpuDesign& design, std::vector<std::uint8_t> program,
+              std::uint64_t cycles = 600)
+      : d_(&design), program_(padProgram(std::move(program))), cycles_(cycles) {}
+
+  [[nodiscard]] std::string name() const override { return "cpu-selftest"; }
+  [[nodiscard]] std::uint64_t cycles() const override { return cycles_; }
+
+  void drive(sim::Simulator& sim, std::uint64_t cycle) override {
+    sim.setInput(d_->rst, sim::fromBool(cycle < 2));
+  }
+
+  void backdoor(sim::Simulator& sim, std::uint64_t cycle) override {
+    if (cycle != 0) return;
+    auto& rom = sim.memory(0);
+    for (std::uint64_t a = 0; a < rom.words(); ++a) {
+      rom.poke(a, program_[a]);
+    }
+  }
+
+ private:
+  const CpuDesign* d_;
+  std::vector<std::uint8_t> program_;
+  std::uint64_t cycles_;
+};
+
+}  // namespace socfmea::cpu

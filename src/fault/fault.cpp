@@ -1,0 +1,94 @@
+#include "fault/fault.hpp"
+
+#include <tuple>
+
+namespace socfmea::fault {
+
+std::string_view faultKindName(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::StuckAt0: return "sa0";
+    case FaultKind::StuckAt1: return "sa1";
+    case FaultKind::SeuFlip: return "seu";
+    case FaultKind::SetPulse: return "set";
+    case FaultKind::BridgeAnd: return "bridge-and";
+    case FaultKind::BridgeOr: return "bridge-or";
+    case FaultKind::DelayStale: return "delay";
+    case FaultKind::MemStuckBit: return "mem-stuck";
+    case FaultKind::MemAddrNone: return "mem-addr-none";
+    case FaultKind::MemAddrWrong: return "mem-addr-wrong";
+    case FaultKind::MemAddrMulti: return "mem-addr-multi";
+    case FaultKind::MemCoupling: return "mem-coupling";
+    case FaultKind::MemSoftError: return "mem-soft";
+  }
+  return "?";
+}
+
+bool isTransient(FaultKind k) noexcept {
+  return k == FaultKind::SeuFlip || k == FaultKind::SetPulse ||
+         k == FaultKind::MemSoftError;
+}
+
+namespace {
+
+std::string netName(const netlist::Netlist& nl, netlist::NetId id) {
+  if (id == netlist::kNoNet) return "-";
+  const auto& n = nl.net(id);
+  return n.name.empty() ? ("#" + std::to_string(id)) : n.name;
+}
+
+}  // namespace
+
+std::string Fault::describe(const netlist::Netlist& nl) const {
+  std::string out{faultKindName(kind)};
+  switch (kind) {
+    case FaultKind::StuckAt0:
+    case FaultKind::StuckAt1:
+    case FaultKind::SetPulse:
+      out += " net " + netName(nl, net);
+      break;
+    case FaultKind::BridgeAnd:
+    case FaultKind::BridgeOr:
+      out += " nets " + netName(nl, net) + "~" + netName(nl, net2);
+      break;
+    case FaultKind::SeuFlip:
+    case FaultKind::DelayStale:
+      out += " ff " + nl.cell(cell).name;
+      break;
+    case FaultKind::MemStuckBit:
+      out += " " + nl.memory(mem).name + "[" + std::to_string(addr) + "]." +
+             std::to_string(bit) + "=" + (stuckValue ? "1" : "0");
+      break;
+    case FaultKind::MemAddrNone:
+    case FaultKind::MemAddrWrong:
+    case FaultKind::MemAddrMulti:
+      out += " " + nl.memory(mem).name + " addr " + std::to_string(addr) +
+             "->" + std::to_string(addr2);
+      break;
+    case FaultKind::MemCoupling:
+      out += " " + nl.memory(mem).name + " " + std::to_string(addr) + "->" +
+             std::to_string(addr2) + "." + std::to_string(bit);
+      break;
+    case FaultKind::MemSoftError:
+      out += " " + nl.memory(mem).name + "[" + std::to_string(addr) + "]." +
+             std::to_string(bit);
+      break;
+  }
+  if (transient()) out += " @" + std::to_string(cycle);
+  return out;
+}
+
+bool operator<(const Fault& a, const Fault& b) noexcept {
+  return std::tie(a.kind, a.net, a.net2, a.cell, a.mem, a.addr, a.addr2, a.bit,
+                  a.stuckValue, a.cycle) <
+         std::tie(b.kind, b.net, b.net2, b.cell, b.mem, b.addr, b.addr2, b.bit,
+                  b.stuckValue, b.cycle);
+}
+
+bool operator==(const Fault& a, const Fault& b) noexcept {
+  return std::tie(a.kind, a.net, a.net2, a.cell, a.mem, a.addr, a.addr2, a.bit,
+                  a.stuckValue, a.cycle) ==
+         std::tie(b.kind, b.net, b.net2, b.cell, b.mem, b.addr, b.addr2, b.bit,
+                  b.stuckValue, b.cycle);
+}
+
+}  // namespace socfmea::fault

@@ -1,0 +1,126 @@
+#include "fault/harness.hpp"
+
+namespace socfmea::fault {
+
+using sim::AddressFaultKind;
+using sim::BridgeKind;
+using sim::Logic;
+
+void FaultHarness::install(sim::Simulator& sim) {
+  installed_ = true;
+  switch (fault_.kind) {
+    case FaultKind::StuckAt0:
+      sim.forceNet(fault_.net, Logic::L0);
+      break;
+    case FaultKind::StuckAt1:
+      sim.forceNet(fault_.net, Logic::L1);
+      break;
+    case FaultKind::BridgeAnd:
+      sim.addBridge(fault_.net, fault_.net2, BridgeKind::WiredAnd);
+      break;
+    case FaultKind::BridgeOr:
+      sim.addBridge(fault_.net, fault_.net2, BridgeKind::WiredOr);
+      break;
+    case FaultKind::DelayStale:
+      sim.setStaleSampling(fault_.cell, true);
+      break;
+    case FaultKind::MemStuckBit:
+      sim.memory(fault_.mem).addStuckBit(fault_.addr, fault_.bit,
+                                         fault_.stuckValue);
+      break;
+    case FaultKind::MemAddrNone:
+      sim.memory(fault_.mem).setAddressFault(fault_.addr,
+                                             AddressFaultKind::NoAccess);
+      break;
+    case FaultKind::MemAddrWrong:
+      sim.memory(fault_.mem).setAddressFault(fault_.addr,
+                                             AddressFaultKind::Wrong,
+                                             fault_.addr2);
+      break;
+    case FaultKind::MemAddrMulti:
+      sim.memory(fault_.mem).setAddressFault(fault_.addr,
+                                             AddressFaultKind::Multiple,
+                                             fault_.addr2);
+      break;
+    case FaultKind::MemCoupling: {
+      // Same-bit coupling between two cells (adjacent rows sharing a column).
+      sim::CouplingFault c;
+      c.aggressorAddr = fault_.addr;
+      c.aggressorBit = fault_.bit;
+      c.victimAddr = fault_.addr2;
+      c.victimBit = fault_.bit;
+      c.invert = true;
+      sim.memory(fault_.mem).addCoupling(c);
+      break;
+    }
+    case FaultKind::SeuFlip:
+    case FaultKind::SetPulse:
+    case FaultKind::MemSoftError:
+      break;  // transient; handled per-cycle
+  }
+}
+
+void FaultHarness::beforeCycle(sim::Simulator& sim, std::uint64_t cycle) {
+  if (cycle != fault_.cycle) return;
+  switch (fault_.kind) {
+    case FaultKind::SeuFlip:
+      sim.flipFf(fault_.cell);
+      break;
+    case FaultKind::MemSoftError:
+      sim.memory(fault_.mem).flipBit(fault_.addr, fault_.bit);
+      break;
+    default:
+      break;
+  }
+}
+
+bool FaultHarness::wantsPulse(std::uint64_t cycle) const noexcept {
+  return fault_.kind == FaultKind::SetPulse && cycle == fault_.cycle;
+}
+
+void FaultHarness::applyPulse(sim::Simulator& sim) {
+  const Logic settled = sim.value(fault_.net);
+  sim.forceNet(fault_.net, sim::logicNot(settled));
+  pulseActive_ = true;
+}
+
+void FaultHarness::afterEdge(sim::Simulator& sim) {
+  if (!pulseActive_) return;
+  sim.releaseNet(fault_.net);
+  pulseActive_ = false;
+}
+
+void FaultHarness::remove(sim::Simulator& sim) {
+  if (!installed_) return;
+  installed_ = false;
+  switch (fault_.kind) {
+    case FaultKind::StuckAt0:
+    case FaultKind::StuckAt1:
+      sim.releaseNet(fault_.net);
+      break;
+    case FaultKind::BridgeAnd:
+    case FaultKind::BridgeOr:
+      sim.clearBridges();
+      break;
+    case FaultKind::DelayStale:
+      sim.setStaleSampling(fault_.cell, false);
+      break;
+    case FaultKind::MemStuckBit:
+    case FaultKind::MemAddrNone:
+    case FaultKind::MemAddrWrong:
+    case FaultKind::MemAddrMulti:
+    case FaultKind::MemCoupling:
+      sim.memory(fault_.mem).clearFaults();
+      break;
+    case FaultKind::SeuFlip:
+    case FaultKind::SetPulse:
+    case FaultKind::MemSoftError:
+      break;
+  }
+  if (pulseActive_) {
+    sim.releaseNet(fault_.net);
+    pulseActive_ = false;
+  }
+}
+
+}  // namespace socfmea::fault

@@ -1,0 +1,54 @@
+// FaultHarness: applies one Fault to a running Simulator and removes it
+// afterwards.  The injection manager drives the per-cycle protocol:
+//
+//   harness.install(sim);                 // permanent faults take effect
+//   for each cycle:
+//     harness.beforeCycle(sim, cycle);    // SEU / soft-error state flips
+//     <apply workload inputs>
+//     sim.evalComb();
+//     if (harness.wantsPulse(cycle)) {    // SET: invert the settled value
+//       harness.applyPulse(sim);
+//       sim.evalComb();
+//     }
+//     <monitors observe>
+//     sim.clockEdge();
+//     harness.afterEdge(sim);             // release an applied pulse
+//   harness.remove(sim);                  // undo permanent effects
+#pragma once
+
+#include "fault/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace socfmea::fault {
+
+class FaultHarness {
+ public:
+  explicit FaultHarness(Fault f) : fault_(f) {}
+
+  [[nodiscard]] const Fault& fault() const noexcept { return fault_; }
+
+  /// Applies permanent fault effects (stuck-at, bridge, delay, memory
+  /// stuck/addressing/coupling).
+  void install(sim::Simulator& sim);
+
+  /// Applies instant state changes scheduled for `cycle` (SEU, soft error).
+  void beforeCycle(sim::Simulator& sim, std::uint64_t cycle);
+
+  /// True when a SET pulse must be applied to the settled values of `cycle`.
+  [[nodiscard]] bool wantsPulse(std::uint64_t cycle) const noexcept;
+  /// Forces the target net to the inverse of its settled value; caller must
+  /// re-run evalComb().
+  void applyPulse(sim::Simulator& sim);
+  /// Releases a pulse applied this cycle (call after clockEdge).
+  void afterEdge(sim::Simulator& sim);
+
+  /// Undoes everything install() did.
+  void remove(sim::Simulator& sim);
+
+ private:
+  Fault fault_;
+  bool pulseActive_ = false;
+  bool installed_ = false;
+};
+
+}  // namespace socfmea::fault

@@ -1,0 +1,139 @@
+#include "faultsim/bitsim.hpp"
+
+#include <stdexcept>
+
+namespace socfmea::faultsim {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::CellType;
+using netlist::DffPins;
+using netlist::kNoNet;
+using netlist::NetId;
+
+BitSim::BitSim(const netlist::Netlist& nl)
+    : nl_(nl), lev_(netlist::levelize(nl)) {
+  if (nl.memoryCount() != 0) {
+    throw std::invalid_argument(
+        "BitSim does not support behavioural memories; use the serial engine");
+  }
+  netWord_.assign(nl.netCount(), 0);
+  ffWord_.assign(nl.cellCount(), 0);
+  inputWord_.assign(nl.cellCount(), 0);
+  reset();
+}
+
+void BitSim::reset() {
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type == CellType::Dff) {
+      ffWord_[id] = c.dffInit ? ~std::uint64_t{0} : 0;
+    }
+  }
+}
+
+void BitSim::setInputAll(NetId net, bool v) {
+  const auto& n = nl_.net(net);
+  if (n.driver == netlist::kNoCell ||
+      nl_.cell(n.driver).type != CellType::Input) {
+    throw std::invalid_argument("setInputAll on a non-input net");
+  }
+  inputWord_[n.driver] = v ? ~std::uint64_t{0} : 0;
+}
+
+void BitSim::writeNet(NetId net, std::uint64_t w) {
+  if (!forces_.empty()) {
+    const auto f = forces_.find(net);
+    if (f != forces_.end()) {
+      w = (w & ~f->second.mask) | (f->second.value & f->second.mask);
+    }
+  }
+  netWord_[net] = w;
+}
+
+void BitSim::evalComb() {
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type == CellType::Input) {
+      writeNet(c.output, inputWord_[id]);
+    } else if (c.type == CellType::Dff) {
+      writeNet(c.output, ffWord_[id]);
+    }
+  }
+  for (CellId id : lev_.order) {
+    const Cell& c = nl_.cell(id);
+    std::uint64_t w = 0;
+    switch (c.type) {
+      case CellType::Const0: w = 0; break;
+      case CellType::Const1: w = ~std::uint64_t{0}; break;
+      case CellType::Buf: w = netWord_[c.inputs[0]]; break;
+      case CellType::Not: w = ~netWord_[c.inputs[0]]; break;
+      case CellType::And: {
+        w = ~std::uint64_t{0};
+        for (NetId in : c.inputs) w &= netWord_[in];
+        break;
+      }
+      case CellType::Nand: {
+        w = ~std::uint64_t{0};
+        for (NetId in : c.inputs) w &= netWord_[in];
+        w = ~w;
+        break;
+      }
+      case CellType::Or: {
+        for (NetId in : c.inputs) w |= netWord_[in];
+        break;
+      }
+      case CellType::Nor: {
+        for (NetId in : c.inputs) w |= netWord_[in];
+        w = ~w;
+        break;
+      }
+      case CellType::Xor: {
+        for (NetId in : c.inputs) w ^= netWord_[in];
+        break;
+      }
+      case CellType::Xnor: {
+        for (NetId in : c.inputs) w ^= netWord_[in];
+        w = ~w;
+        break;
+      }
+      case CellType::Mux2: {
+        const std::uint64_t sel = netWord_[c.inputs[0]];
+        w = (netWord_[c.inputs[1]] & ~sel) | (netWord_[c.inputs[2]] & sel);
+        break;
+      }
+      default:
+        continue;
+    }
+    writeNet(c.output, w);
+  }
+}
+
+void BitSim::clockEdge() {
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type != CellType::Dff) continue;
+    const std::uint64_t d = netWord_[c.inputs[DffPins::kD]];
+    const std::uint64_t en = c.inputs[DffPins::kEn] == kNoNet
+                                 ? ~std::uint64_t{0}
+                                 : netWord_[c.inputs[DffPins::kEn]];
+    std::uint64_t next = (ffWord_[id] & ~en) | (d & en);
+    if (c.inputs[DffPins::kRst] != kNoNet) {
+      const std::uint64_t rst = netWord_[c.inputs[DffPins::kRst]];
+      const std::uint64_t init = c.dffInit ? ~std::uint64_t{0} : 0;
+      next = (next & ~rst) | (init & rst);
+    }
+    ffWord_[id] = next;
+  }
+}
+
+void BitSim::forceNet(NetId net, std::uint64_t laneMask,
+                      std::uint64_t valueWord) {
+  Force& f = forces_[net];
+  f.mask |= laneMask;
+  f.value = (f.value & ~laneMask) | (valueWord & laneMask);
+}
+
+void BitSim::clearForces() { forces_.clear(); }
+
+}  // namespace socfmea::faultsim

@@ -1,0 +1,92 @@
+#include "faultsim/parallel.hpp"
+
+#include <stdexcept>
+
+namespace socfmea::faultsim {
+
+StimulusTrace recordStimulus(const netlist::Netlist& nl, sim::Workload& wl) {
+  StimulusTrace t;
+  for (netlist::CellId pi : nl.primaryInputs()) {
+    t.inputs.push_back(nl.cell(pi).output);
+  }
+  sim::Simulator sim(nl);
+  wl.restart();
+  sim.reset();
+  t.values.reserve(wl.cycles());
+  for (std::uint64_t c = 0; c < wl.cycles(); ++c) {
+    wl.drive(sim, c);
+    wl.backdoor(sim, c);
+    sim.evalComb();
+    std::vector<bool> row;
+    row.reserve(t.inputs.size());
+    for (netlist::NetId n : t.inputs) {
+      row.push_back(sim.value(n) == sim::Logic::L1);
+    }
+    t.values.push_back(std::move(row));
+    sim.clockEdge();
+  }
+  return t;
+}
+
+FaultSimResult runParallelFaultSim(const netlist::Netlist& nl,
+                                   const StimulusTrace& stim,
+                                   const fault::FaultList& faults,
+                                   const FaultSimOptions& opt) {
+  for (const fault::Fault& f : faults) {
+    if (f.kind != fault::FaultKind::StuckAt0 &&
+        f.kind != fault::FaultKind::StuckAt1) {
+      throw std::invalid_argument(
+          "parallel fault simulation supports stuck-at faults only");
+    }
+  }
+  std::vector<netlist::NetId> obsNets;
+  {
+    const auto outputs =
+        opt.observedOutputs.empty() ? nl.primaryOutputs() : opt.observedOutputs;
+    for (netlist::CellId po : outputs) obsNets.push_back(nl.cell(po).inputs[0]);
+  }
+
+  FaultSimResult res;
+  res.total = faults.size();
+  res.outcomes.assign(faults.size(), FaultOutcome::Undetected);
+
+  BitSim bs(nl);
+  for (std::size_t base = 0; base < faults.size(); base += BitSim::kLanes - 1) {
+    const std::size_t chunk =
+        std::min(BitSim::kLanes - 1, faults.size() - base);
+    bs.clearForces();
+    bs.reset();
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const fault::Fault& f = faults[base + i];
+      const std::uint64_t lane = std::uint64_t{1} << (i + 1);
+      bs.forceNet(f.net, lane,
+                  f.kind == fault::FaultKind::StuckAt1 ? ~std::uint64_t{0} : 0);
+    }
+    std::uint64_t detectedMask = 0;
+    const std::uint64_t allMask =
+        chunk >= 63 ? ~std::uint64_t{1} : (((std::uint64_t{1} << chunk) - 1) << 1);
+    for (std::uint64_t c = 0; c < stim.cycles(); ++c) {
+      for (std::size_t i = 0; i < stim.inputs.size(); ++i) {
+        bs.setInputAll(stim.inputs[i], stim.values[c][i]);
+      }
+      bs.evalComb();
+      ++res.simulatedCycles;
+      for (netlist::NetId n : obsNets) {
+        const std::uint64_t w = bs.netWord(n);
+        const std::uint64_t golden = (w & 1u) ? ~std::uint64_t{0} : 0;
+        detectedMask |= (w ^ golden);
+      }
+      if (opt.earlyAbort && (detectedMask & allMask) == allMask) break;
+      bs.clockEdge();
+    }
+    for (std::size_t i = 0; i < chunk; ++i) {
+      if (detectedMask & (std::uint64_t{1} << (i + 1))) {
+        res.outcomes[base + i] = FaultOutcome::Detected;
+        ++res.detected;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace socfmea::faultsim

@@ -1,0 +1,63 @@
+// Serial fault simulation: one faulty machine at a time, compared against a
+// pre-recorded golden trace of the primary outputs, with early abort on
+// first detection.  Stands in for the commercial fault simulator of the
+// paper's validation step (c): "the fault simulator can be used to precisely
+// measure the fault coverage vs permanent faults respect the workload and
+// the implemented diagnostic."
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "fault/harness.hpp"
+#include "sim/workload.hpp"
+
+namespace socfmea::faultsim {
+
+enum class FaultOutcome : std::uint8_t {
+  Detected,    ///< a primary output diverged from the golden run
+  Undetected,  ///< ran the full workload without divergence
+};
+
+struct FaultSimResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<FaultOutcome> outcomes;  ///< parallel to the input fault list
+  std::uint64_t simulatedCycles = 0;   ///< total cycles across all machines
+
+  [[nodiscard]] double coverage() const noexcept {
+    return total == 0 ? 1.0
+                      : static_cast<double>(detected) / static_cast<double>(total);
+  }
+};
+
+struct FaultSimOptions {
+  /// Observe only these output ports; empty = every primary output.
+  std::vector<netlist::CellId> observedOutputs;
+  /// Stop a faulty machine at first divergence (classic fault-sim early
+  /// abort); disable to count divergence cycles.
+  bool earlyAbort = true;
+};
+
+/// Golden per-cycle values of the observed outputs.
+struct GoldenTrace {
+  std::vector<netlist::CellId> outputs;
+  std::vector<netlist::NetId> nets;            ///< source nets of the outputs
+  std::vector<std::vector<sim::Logic>> values; ///< [cycle][output]
+};
+
+/// Records the golden trace by one fault-free run.
+[[nodiscard]] GoldenTrace recordGolden(const netlist::Netlist& nl,
+                                       sim::Workload& wl,
+                                       const FaultSimOptions& opt = {});
+
+/// Runs the whole fault list serially.
+[[nodiscard]] FaultSimResult runSerialFaultSim(const netlist::Netlist& nl,
+                                               sim::Workload& wl,
+                                               const fault::FaultList& faults,
+                                               const FaultSimOptions& opt = {});
+
+void printFaultSim(std::ostream& out, const FaultSimResult& r);
+
+}  // namespace socfmea::faultsim

@@ -1,0 +1,133 @@
+#include "fmea/failure_modes.hpp"
+
+namespace socfmea::fmea {
+
+std::string_view componentClassName(ComponentClass c) noexcept {
+  switch (c) {
+    case ComponentClass::Logic: return "logic";
+    case ComponentClass::VariableMemory: return "variable-memory";
+    case ComponentClass::InvariableMemory: return "invariable-memory";
+    case ComponentClass::ProcessingUnit: return "processing-unit";
+    case ComponentClass::Bus: return "bus";
+    case ComponentClass::ClockReset: return "clock-reset";
+    case ComponentClass::IoPorts: return "io-ports";
+    case ComponentClass::PowerSupply: return "power-supply";
+  }
+  return "?";
+}
+
+namespace {
+
+using enum ComponentClass;
+using enum Persistence;
+
+// Weights within a class are the default apportionment of the class failure
+// rate over its modes; per persistence class they sum to ~1.
+const std::vector<FailureMode> kLogic = {
+    {"logic-stuck", "DC fault model (stuck-at) in the converging cone", Logic,
+     Permanent, 0.70},
+    {"logic-bridge", "Bridging / coupling between cone nets", Logic, Permanent,
+     0.20},
+    {"logic-delay", "Delay fault: late data sampled stale", Logic, Permanent,
+     0.10},
+    {"logic-seu", "Bit-flip of the memory element (soft error)", Logic,
+     Transient, 0.80},
+    {"logic-set", "Transient pulse in the cone sampled by the element", Logic,
+     Transient, 0.20},
+};
+
+const std::vector<FailureMode> kVariableMemory = {
+    {"mem-dc-data", "DC fault model for data (stuck cell bits)",
+     VariableMemory, Permanent, 0.40},
+    {"mem-dc-addr", "DC fault model for addresses", VariableMemory, Permanent,
+     0.15},
+    {"mem-addressing", "No, wrong or multiple addressing", VariableMemory,
+     Permanent, 0.25},
+    {"mem-crossover", "Dynamic cross-over for memory cells", VariableMemory,
+     Permanent, 0.20},
+    {"mem-soft-error", "Change of information caused by soft errors",
+     VariableMemory, Transient, 1.00},
+};
+
+const std::vector<FailureMode> kInvariableMemory = {
+    {"rom-corruption", "Corruption of stored code/constants",
+     InvariableMemory, Permanent, 1.00},
+    {"rom-soft-error", "Soft-error upset of the stored image",
+     InvariableMemory, Transient, 1.00},
+};
+
+const std::vector<FailureMode> kProcessingUnit = {
+    {"cpu-reg-dc", "DC fault model for data and addresses of internal "
+                   "registers", ProcessingUnit, Permanent, 0.35},
+    {"cpu-crossover", "Dynamic cross-over for internal memory cells",
+     ProcessingUnit, Permanent, 0.15},
+    {"cpu-wrong-coding", "Wrong coding or wrong execution (incl. flag "
+                         "registers)", ProcessingUnit, Permanent, 0.50},
+    {"cpu-seu", "Soft error in architectural state", ProcessingUnit,
+     Transient, 1.00},
+};
+
+const std::vector<FailureMode> kBus = {
+    {"bus-stuck", "Stuck-at on address/data/control lines", Bus, Permanent,
+     0.50},
+    {"bus-crosstalk", "Crosstalk / bridging between bus lines", Bus,
+     Permanent, 0.30},
+    {"bus-arbitration", "Wrong arbitration / protocol violation", Bus,
+     Permanent, 0.20},
+    {"bus-transient", "Transient disturbance of a transfer", Bus, Transient,
+     1.00},
+};
+
+const std::vector<FailureMode> kClockReset = {
+    {"clk-stuck", "Clock/reset stuck (omission)", ClockReset, Permanent, 0.50},
+    {"clk-frequency", "Wrong frequency / duty", ClockReset, Permanent, 0.30},
+    {"clk-jitter", "Excessive jitter / glitching", ClockReset, Permanent,
+     0.20},
+    {"clk-transient", "Transient glitch on the tree", ClockReset, Transient,
+     1.00},
+};
+
+const std::vector<FailureMode> kIoPorts = {
+    {"io-stuck", "Stuck-at on pad / port logic", IoPorts, Permanent, 0.70},
+    {"io-drift", "Drift and oscillation", IoPorts, Permanent, 0.30},
+    {"io-transient", "Transient disturbance of the port", IoPorts, Transient,
+     1.00},
+};
+
+const std::vector<FailureMode> kPowerSupply = {
+    {"psu-over", "Overvoltage", PowerSupply, Permanent, 0.40},
+    {"psu-under", "Undervoltage / brown-out", PowerSupply, Permanent, 0.60},
+    {"psu-transient", "Supply transient affecting wide areas", PowerSupply,
+     Transient, 1.00},
+};
+
+}  // namespace
+
+const std::vector<FailureMode>& failureModesFor(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::Logic: return kLogic;
+    case ComponentClass::VariableMemory: return kVariableMemory;
+    case ComponentClass::InvariableMemory: return kInvariableMemory;
+    case ComponentClass::ProcessingUnit: return kProcessingUnit;
+    case ComponentClass::Bus: return kBus;
+    case ComponentClass::ClockReset: return kClockReset;
+    case ComponentClass::IoPorts: return kIoPorts;
+    case ComponentClass::PowerSupply: return kPowerSupply;
+  }
+  return kLogic;
+}
+
+ComponentClass defaultComponentClass(zones::ZoneKind k) noexcept {
+  switch (k) {
+    case zones::ZoneKind::Register: return ComponentClass::Logic;
+    case zones::ZoneKind::SubBlock: return ComponentClass::Logic;
+    case zones::ZoneKind::Memory: return ComponentClass::VariableMemory;
+    case zones::ZoneKind::CriticalNet: return ComponentClass::ClockReset;
+    case zones::ZoneKind::PrimaryInput: return ComponentClass::IoPorts;
+    case zones::ZoneKind::PrimaryOutput: return ComponentClass::IoPorts;
+    case zones::ZoneKind::LogicalEntity: return ComponentClass::Logic;
+  }
+  return ComponentClass::Logic;
+}
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,48 @@
+// Failure-mode catalogue per component class, after IEC 61508-2 table A.1
+// ("faults or failures to be detected during operation or to be analysed in
+// the derivation of the safe failure fraction").  The paper quotes the
+// variable-memory and processing-unit rows explicitly (Section 2).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "zones/zone.hpp"
+
+namespace socfmea::fmea {
+
+/// Component class a sensible zone belongs to, selecting its failure modes.
+enum class ComponentClass : std::uint8_t {
+  Logic,           ///< generic combinational/sequential logic
+  VariableMemory,  ///< RAM
+  InvariableMemory,///< ROM / flash
+  ProcessingUnit,  ///< CPU-like blocks
+  Bus,             ///< on-chip interconnect
+  ClockReset,      ///< clock / reset distribution
+  IoPorts,         ///< primary I/O
+  PowerSupply,     ///< supply monitoring (modelled, not simulated)
+};
+
+[[nodiscard]] std::string_view componentClassName(ComponentClass c) noexcept;
+
+/// Persistence class of the physical faults behind a failure mode.
+enum class Persistence : std::uint8_t { Permanent, Transient, Both };
+
+struct FailureMode {
+  std::string_view key;
+  std::string_view description;
+  ComponentClass component = ComponentClass::Logic;
+  Persistence persistence = Persistence::Both;
+  /// Default share of the component's failure rate attributed to this mode
+  /// (the per-class defaults sum to 1 for each persistence class).
+  double weight = 1.0;
+};
+
+/// Failure modes of a component class (IEC 61508-2 table A.1 excerpt).
+[[nodiscard]] const std::vector<FailureMode>& failureModesFor(ComponentClass c);
+
+/// Default component class of a zone kind (Register -> Logic, Memory ->
+/// VariableMemory, CriticalNet -> ClockReset, I/O -> IoPorts).
+[[nodiscard]] ComponentClass defaultComponentClass(zones::ZoneKind k) noexcept;
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,62 @@
+#include "fmea/fit_model.hpp"
+
+namespace socfmea::fmea {
+
+FitModel FitModel::scaled(double permFactor, double transFactor) const {
+  FitModel out = *this;
+  out.gatePermanent *= permFactor;
+  out.ffPermanent *= permFactor;
+  out.memBitPermanent *= permFactor;
+  out.pinPermanent *= permFactor;
+  out.netPermanentPerFanout *= permFactor;
+  out.gateTransient *= transFactor;
+  out.ffTransient *= transFactor;
+  out.memBitTransient *= transFactor;
+  return out;
+}
+
+ZoneFit zoneFit(const FitModel& m, const zones::SensibleZone& z,
+                const netlist::Netlist& nl) {
+  ZoneFit fit;
+  const double gates = static_cast<double>(z.stats.gateCount);
+  const double bits = static_cast<double>(z.ffs.size());
+
+  switch (z.kind) {
+    case zones::ZoneKind::Memory: {
+      const auto& mem = nl.memory(z.mem);
+      const double memBits =
+          static_cast<double>((std::uint64_t{1} << mem.addrBits) * mem.dataBits);
+      fit.permanent = memBits * m.memBitPermanent + gates * m.gatePermanent;
+      fit.transient = memBits * m.memBitTransient + gates * m.gateTransient;
+      break;
+    }
+    case zones::ZoneKind::PrimaryInput:
+    case zones::ZoneKind::PrimaryOutput: {
+      const double pins = static_cast<double>(z.valueNets.size());
+      fit.permanent = pins * m.pinPermanent + gates * m.gatePermanent;
+      fit.transient = gates * m.gateTransient;
+      break;
+    }
+    case zones::ZoneKind::CriticalNet: {
+      // Interconnect-dominated: weight by the net's fanout.
+      double fanout = 0.0;
+      for (netlist::NetId n : z.valueNets) {
+        fanout += static_cast<double>(nl.net(n).fanout.size());
+      }
+      fit.permanent =
+          fanout * m.netPermanentPerFanout + gates * m.gatePermanent;
+      fit.transient = gates * m.gateTransient;
+      break;
+    }
+    case zones::ZoneKind::Register:
+    case zones::ZoneKind::SubBlock:
+    case zones::ZoneKind::LogicalEntity: {
+      fit.permanent = gates * m.gatePermanent + bits * m.ffPermanent;
+      fit.transient = bits * m.ffTransient + gates * m.gateTransient;
+      break;
+    }
+  }
+  return fit;
+}
+
+}  // namespace socfmea::fmea

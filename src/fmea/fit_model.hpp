@@ -1,0 +1,46 @@
+// Elementary failure-rate model: FIT per gate and per register, transient
+// and permanent ("starting from the elementary failure in time (FIT) per
+// gate and per register both for transient and permanent faults, all the
+// data automatically extracted by the tool are used to compute the failure
+// rates for each sensible zone", paper Section 3).
+//
+// Default values are representative of 130 nm automotive silicon at ground
+// level; the absolute scale cancels out of DC and SFF, and the sensitivity
+// analysis (sensitivity.hpp) spans them as the norm requires.
+#pragma once
+
+#include "zones/zone.hpp"
+
+namespace socfmea::fmea {
+
+/// All rates in FIT (failures per 1e9 device-hours).
+struct FitModel {
+  double gatePermanent = 0.0005;   ///< per combinational gate
+  double gateTransient = 0.0002;   ///< SET contribution per gate
+  double ffPermanent = 0.0010;     ///< per flip-flop (cell + clocking)
+  double ffTransient = 0.0050;     ///< SEU per flip-flop (dominant at altitude 0)
+  double memBitPermanent = 0.00005;///< per memory bit (cell defects)
+  double memBitTransient = 0.0007; ///< SEU per memory bit
+  double pinPermanent = 0.0100;    ///< per primary I/O pin (pad, bond)
+  double netPermanentPerFanout = 0.00002;  ///< interconnect contribution
+
+  /// Uniform scaling (process / environment derating).
+  [[nodiscard]] FitModel scaled(double permFactor, double transFactor) const;
+};
+
+/// Raw failure rate of a zone split by persistence.
+struct ZoneFit {
+  double permanent = 0.0;
+  double transient = 0.0;
+  [[nodiscard]] double total() const noexcept { return permanent + transient; }
+};
+
+/// Computes a zone's failure rate from its cone statistics and width:
+/// permanent faults accumulate over the converging cone's gates, the zone's
+/// own storage bits and interconnect; transients over storage bits (SEU) and
+/// cone gates (SET).
+[[nodiscard]] ZoneFit zoneFit(const FitModel& model,
+                              const zones::SensibleZone& zone,
+                              const netlist::Netlist& nl);
+
+}  // namespace socfmea::fmea

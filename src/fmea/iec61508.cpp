@@ -1,0 +1,116 @@
+#include "fmea/iec61508.hpp"
+
+#include <algorithm>
+
+namespace socfmea::fmea {
+
+std::string_view silName(Sil s) noexcept {
+  switch (s) {
+    case Sil::NotAllowed: return "not-allowed";
+    case Sil::Sil1: return "SIL1";
+    case Sil::Sil2: return "SIL2";
+    case Sil::Sil3: return "SIL3";
+    case Sil::Sil4: return "SIL4";
+  }
+  return "?";
+}
+
+double diagnosticCoverage(const Lambdas& l) noexcept {
+  const double d = l.dangerous();
+  return d <= 0.0 ? 0.0 : l.dangerousDetected / d;
+}
+
+double safeFailureFraction(const Lambdas& l) noexcept {
+  const double t = l.total();
+  return t <= 0.0 ? 1.0 : (l.safe + l.dangerousDetected) / t;
+}
+
+namespace {
+
+// SFF band index: 0 = <60 %, 1 = 60..<90 %, 2 = 90..<99 %, 3 = >=99 %.
+int sffBand(double sff) noexcept {
+  if (sff >= 0.99) return 3;
+  if (sff >= 0.90) return 2;
+  if (sff >= 0.60) return 1;
+  return 0;
+}
+
+// IEC 61508-2 table 2 (type A) and table 3 (type B).  Rows = SFF band,
+// columns = HFT 0/1/2.
+constexpr Sil kTypeA[4][3] = {
+    {Sil::Sil1, Sil::Sil2, Sil::Sil3},
+    {Sil::Sil2, Sil::Sil3, Sil::Sil4},
+    {Sil::Sil3, Sil::Sil4, Sil::Sil4},
+    {Sil::Sil3, Sil::Sil4, Sil::Sil4},
+};
+constexpr Sil kTypeB[4][3] = {
+    {Sil::NotAllowed, Sil::Sil1, Sil::Sil2},
+    {Sil::Sil1, Sil::Sil2, Sil::Sil3},
+    {Sil::Sil2, Sil::Sil3, Sil::Sil4},
+    {Sil::Sil3, Sil::Sil4, Sil::Sil4},
+};
+
+}  // namespace
+
+Sil silFromSff(double sff, unsigned hft, ElementType type) noexcept {
+  const int band = sffBand(sff);
+  const unsigned col = std::min(hft, 2u);
+  return type == ElementType::TypeA ? kTypeA[band][col] : kTypeB[band][col];
+}
+
+double requiredSff(Sil target, unsigned hft, ElementType type) noexcept {
+  static constexpr double kBandFloor[4] = {0.0, 0.60, 0.90, 0.99};
+  for (int band = 0; band < 4; ++band) {
+    const double sff = kBandFloor[band];
+    if (static_cast<int>(silFromSff(sff, hft, type)) >=
+        static_cast<int>(target)) {
+      return sff;
+    }
+  }
+  return 1.01;  // unreachable at this HFT
+}
+
+double pfhFromLambda(const Lambdas& l) noexcept {
+  return l.dangerousUndetected * 1e-9;  // FIT -> failures per hour
+}
+
+Sil silFromPfh(double pfhPerHour) noexcept {
+  if (pfhPerHour < 1e-8) return Sil::Sil4;
+  if (pfhPerHour < 1e-7) return Sil::Sil3;
+  if (pfhPerHour < 1e-6) return Sil::Sil2;
+  if (pfhPerHour < 1e-5) return Sil::Sil1;
+  return Sil::NotAllowed;
+}
+
+double pfhLimit(Sil s) noexcept {
+  switch (s) {
+    case Sil::Sil4: return 1e-8;
+    case Sil::Sil3: return 1e-7;
+    case Sil::Sil2: return 1e-6;
+    case Sil::Sil1: return 1e-5;
+    case Sil::NotAllowed: return 1.0;
+  }
+  return 1.0;
+}
+
+std::string_view dcLevelName(DcLevel l) noexcept {
+  switch (l) {
+    case DcLevel::None: return "none";
+    case DcLevel::Low: return "low";
+    case DcLevel::Medium: return "medium";
+    case DcLevel::High: return "high";
+  }
+  return "?";
+}
+
+double dcLevelValue(DcLevel l) noexcept {
+  switch (l) {
+    case DcLevel::None: return 0.0;
+    case DcLevel::Low: return 0.60;
+    case DcLevel::Medium: return 0.90;
+    case DcLevel::High: return 0.99;
+  }
+  return 0.0;
+}
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,89 @@
+// IEC 61508 core concepts: Safety Integrity Level (SIL), Hardware Fault
+// Tolerance (HFT), Safe Failure Fraction (SFF), Diagnostic Coverage (DC),
+// and the architectural-constraints tables granting a SIL from (SFF, HFT)
+// for type-A (simple, fully analysable) and type-B (complex, e.g. SoC)
+// elements — IEC 61508-2 tables 2 and 3.
+//
+//   DC  = λDD / λD
+//   SFF = (λS + λDD) / (λS + λD),  λD = λDD + λDU
+//
+// The paper's headline requirement: with HFT = 0 a type-B component needs
+// SFF >= 99 % for SIL3; with HFT = 1, SFF > 90 % suffices.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace socfmea::fmea {
+
+enum class Sil : std::uint8_t {
+  NotAllowed = 0,  ///< no SIL can be claimed
+  Sil1 = 1,
+  Sil2 = 2,
+  Sil3 = 3,
+  Sil4 = 4,
+};
+
+[[nodiscard]] std::string_view silName(Sil s) noexcept;
+
+/// Element type per IEC 61508-2 7.4.4.1.2/.1.3: type A = simple, all failure
+/// modes well defined; type B = complex (microprocessors, SoCs).
+enum class ElementType : std::uint8_t { TypeA, TypeB };
+
+/// Failure-rate bundle (all rates in FIT = failures / 1e9 h).
+struct Lambdas {
+  double safe = 0.0;               ///< λS
+  double dangerousDetected = 0.0;  ///< λDD
+  double dangerousUndetected = 0.0;///< λDU
+
+  [[nodiscard]] double dangerous() const noexcept {
+    return dangerousDetected + dangerousUndetected;
+  }
+  [[nodiscard]] double total() const noexcept { return safe + dangerous(); }
+
+  Lambdas& operator+=(const Lambdas& o) noexcept {
+    safe += o.safe;
+    dangerousDetected += o.dangerousDetected;
+    dangerousUndetected += o.dangerousUndetected;
+    return *this;
+  }
+};
+
+/// Diagnostic coverage λDD/λD; 0 when there are no dangerous failures.
+[[nodiscard]] double diagnosticCoverage(const Lambdas& l) noexcept;
+
+/// Safe failure fraction (λS+λDD)/(λS+λD); 1 when the element cannot fail.
+[[nodiscard]] double safeFailureFraction(const Lambdas& l) noexcept;
+
+/// Maximum SIL claimable for an element with the given SFF and hardware
+/// fault tolerance (route 1H architectural constraints).
+[[nodiscard]] Sil silFromSff(double sff, unsigned hft, ElementType type) noexcept;
+
+/// Minimum SFF required to claim `target` at the given HFT (returns >1.0
+/// when the target cannot be reached at any SFF).
+[[nodiscard]] double requiredSff(Sil target, unsigned hft, ElementType type) noexcept;
+
+// ---- the probabilistic route (IEC 61508-1 tables 2/3) ----------------------
+
+/// Probability of dangerous failure per hour for high-demand / continuous
+/// mode: at HFT 0 every dangerous undetected failure defeats the safety
+/// function, so PFH = λDU (λDU is in FIT = 1e-9/h).
+[[nodiscard]] double pfhFromLambda(const Lambdas& l) noexcept;
+
+/// SIL band from PFH, continuous/high-demand mode (61508-1 table 3):
+/// SIL4: [1e-9,1e-8), SIL3: [1e-8,1e-7), SIL2: [1e-7,1e-6),
+/// SIL1: [1e-6,1e-5); above 1e-5 no SIL can be claimed.
+[[nodiscard]] Sil silFromPfh(double pfhPerHour) noexcept;
+
+/// Upper PFH bound (per hour) admissible for a SIL in continuous mode.
+[[nodiscard]] double pfhLimit(Sil s) noexcept;
+
+/// The norm's coarse diagnostic-coverage levels used throughout Annex A
+/// ("low" 60 %, "medium" 90 %, "high" 99 %).
+enum class DcLevel : std::uint8_t { None, Low, Medium, High };
+
+[[nodiscard]] std::string_view dcLevelName(DcLevel l) noexcept;
+/// Maximum DC value considered achievable for the level.
+[[nodiscard]] double dcLevelValue(DcLevel l) noexcept;
+
+}  // namespace socfmea::fmea

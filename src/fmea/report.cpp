@@ -1,0 +1,134 @@
+#include "fmea/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace socfmea::fmea {
+
+namespace {
+
+struct Pct {
+  double v;
+};
+
+std::ostream& operator<<(std::ostream& os, Pct p) {
+  const auto f = os.flags();
+  os << std::fixed << std::setprecision(2) << p.v * 100.0 << "%";
+  os.flags(f);
+  return os;
+}
+
+}  // namespace
+
+void printSummary(std::ostream& out, const FmeaSheet& sheet) {
+  const Lambdas t = sheet.totals();
+  out << "FMEA summary (" << sheet.rows().size() << " rows):\n"
+      << "  lambda_S   " << t.safe << " FIT\n"
+      << "  lambda_DD  " << t.dangerousDetected << " FIT\n"
+      << "  lambda_DU  " << t.dangerousUndetected << " FIT\n"
+      << "  DC         " << Pct{sheet.dc()} << "\n"
+      << "  SFF        " << Pct{sheet.sff()} << "\n"
+      << "  SIL grant  " << silName(sheet.sil()) << " (HFT "
+      << sheet.config().hft << ", type "
+      << (sheet.config().elementType == ElementType::TypeB ? "B" : "A")
+      << ")\n"
+      << "  PFH        " << sheet.pfh() << " /h -> "
+      << silName(sheet.silByPfh()) << " by the probabilistic route\n";
+}
+
+void printSheet(std::ostream& out, const FmeaSheet& sheet,
+                std::size_t maxRows) {
+  out << std::left << std::setw(34) << "zone" << std::setw(18)
+      << "failure mode" << std::setw(6) << "pers" << std::setw(11) << "lambda"
+      << std::setw(8) << "S" << std::setw(8) << "DDF" << std::setw(11)
+      << "l_DD" << std::setw(11) << "l_DU" << "\n";
+  std::size_t n = 0;
+  for (const FmeaRow& r : sheet.rows()) {
+    if (maxRows != 0 && n++ >= maxRows) {
+      out << "  ... (" << sheet.rows().size() - maxRows << " more rows)\n";
+      break;
+    }
+    out << std::left << std::setw(34) << r.zoneName.substr(0, 33)
+        << std::setw(18) << r.failureMode << std::setw(6)
+        << (r.persistence == Persistence::Transient ? "T" : "P")
+        << std::setw(11) << std::setprecision(4) << r.lambda << std::setw(8)
+        << std::setprecision(2) << r.safe.combined() << std::setw(8) << r.ddf
+        << std::setw(11) << std::setprecision(4) << r.lambdaDD << std::setw(11)
+        << r.lambdaDU << "\n";
+  }
+}
+
+void printRanking(std::ostream& out, const FmeaSheet& sheet, std::size_t topN) {
+  out << "criticality ranking (by lambda_DU):\n";
+  std::size_t rank = 1;
+  for (const auto& e : sheet.ranking(topN)) {
+    out << "  " << std::setw(2) << rank++ << ". " << std::left << std::setw(36)
+        << e.name << std::right << std::setprecision(4) << e.lambdaDU
+        << " FIT  (" << Pct{e.share} << " of total DU)\n";
+  }
+}
+
+void printSilTable(std::ostream& out) {
+  static constexpr double kBands[] = {0.50, 0.60, 0.90, 0.99};
+  static constexpr const char* kBandNames[] = {"SFF <60%", "60%<=SFF<90%",
+                                               "90%<=SFF<99%", "SFF>=99%"};
+  for (const ElementType type : {ElementType::TypeA, ElementType::TypeB}) {
+    out << "IEC 61508-2 architectural constraints, type "
+        << (type == ElementType::TypeA ? "A" : "B") << " elements:\n";
+    out << "  " << std::left << std::setw(16) << "SFF band" << std::setw(14)
+        << "HFT=0" << std::setw(14) << "HFT=1" << std::setw(14) << "HFT=2"
+        << "\n";
+    for (int b = 0; b < 4; ++b) {
+      out << "  " << std::left << std::setw(16) << kBandNames[b];
+      for (unsigned hft = 0; hft <= 2; ++hft) {
+        out << std::setw(14) << silName(silFromSff(kBands[b], hft, type));
+      }
+      out << "\n";
+    }
+  }
+}
+
+void printTechniqueTable(std::ostream& out) {
+  out << "IEC 61508-2 Annex A techniques (max diagnostic coverage):\n";
+  out << "  " << std::left << std::setw(28) << "key" << std::setw(7) << "table"
+      << std::setw(5) << "impl" << std::setw(8) << "maxDC" << "name\n";
+  for (const Technique& t : techniqueCatalogue()) {
+    out << "  " << std::left << std::setw(28) << t.key << std::setw(7)
+        << t.table << std::setw(5)
+        << (t.impl == TechniqueImpl::Hardware ? "HW" : "SW") << std::setw(8)
+        << dcLevelName(t.maxDc) << t.name << "\n";
+  }
+}
+
+void printSensitivity(std::ostream& out, const SensitivityResult& res) {
+  out << "sensitivity analysis: baseline SFF " << Pct{res.baselineSff}
+      << ", DC " << Pct{res.baselineDc} << "\n";
+  for (const SensitivityScenario& s : res.scenarios) {
+    out << "  " << std::left << std::setw(26) << s.name << "SFF "
+        << Pct{s.sff} << "  (delta " << std::showpos << std::fixed
+        << std::setprecision(3) << s.deltaSff * 100.0 << std::noshowpos
+        << " pt)\n";
+    out.unsetf(std::ios_base::fixed);
+  }
+  out << "  span: [" << Pct{res.minSff()} << ", " << Pct{res.maxSff()}
+      << "], max |delta| " << std::fixed << std::setprecision(3)
+      << res.maxAbsDelta() * 100.0 << " pt\n";
+  out.unsetf(std::ios_base::fixed);
+}
+
+void writeCsv(std::ostream& out, const FmeaSheet& sheet) {
+  out << "zone,kind,component,failure_mode,persistence,lambda,s_arch,s_app,"
+         "freq,lifetime,ddf,ddf_hw,ddf_sw,lambda_s,lambda_dd,lambda_du\n";
+  for (const FmeaRow& r : sheet.rows()) {
+    out << r.zoneName << ',' << zones::zoneKindName(r.zoneKind) << ','
+        << componentClassName(r.component) << ',' << r.failureMode << ','
+        << (r.persistence == Persistence::Transient ? 'T' : 'P') << ','
+        << r.lambda << ',' << r.safe.architectural << ','
+        << r.safe.applicational << ',' << freqClassName(r.freq) << ','
+        << r.lifetimeFraction << ',' << r.ddf << ',' << r.ddfHw << ','
+        << r.ddfSw << ',' << r.lambdaS << ',' << r.lambdaDD << ','
+        << r.lambdaDU << "\n";
+  }
+}
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,37 @@
+// Report writers: the "very detailed reports on sensible zones, fault
+// effects, failure rates, etc" the paper's conclusions promise, as plain
+// text tables and CSV.
+#pragma once
+
+#include <iosfwd>
+
+#include "fmea/sensitivity.hpp"
+#include "fmea/sheet.hpp"
+
+namespace socfmea::fmea {
+
+/// Totals, DC, SFF and the SIL verdict.
+void printSummary(std::ostream& out, const FmeaSheet& sheet);
+
+/// The full row table (or the first `maxRows` rows; 0 = all).
+void printSheet(std::ostream& out, const FmeaSheet& sheet,
+                std::size_t maxRows = 0);
+
+/// Criticality ranking (top N zones by λDU).
+void printRanking(std::ostream& out, const FmeaSheet& sheet,
+                  std::size_t topN = 10);
+
+/// IEC 61508-2 architectural-constraints table (SFF band x HFT, both element
+/// types) — experiment T-SIL.
+void printSilTable(std::ostream& out);
+
+/// Annex A technique catalogue with maximum DC — experiment T-DC.
+void printTechniqueTable(std::ostream& out);
+
+/// Sensitivity spans — experiment T-SENS.
+void printSensitivity(std::ostream& out, const SensitivityResult& res);
+
+/// Machine-readable CSV of the row table.
+void writeCsv(std::ostream& out, const FmeaSheet& sheet);
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,129 @@
+#include "fmea/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socfmea::fmea {
+
+double SensitivityResult::minSff() const {
+  double m = baselineSff;
+  for (const auto& s : scenarios) m = std::min(m, s.sff);
+  return m;
+}
+
+double SensitivityResult::maxSff() const {
+  double m = baselineSff;
+  for (const auto& s : scenarios) m = std::max(m, s.sff);
+  return m;
+}
+
+double SensitivityResult::maxAbsDelta() const {
+  double m = 0.0;
+  for (const auto& s : scenarios) m = std::max(m, std::fabs(s.deltaSff));
+  return m;
+}
+
+bool SensitivityResult::stable(double tol, double floor) const {
+  if (maxAbsDelta() > tol) return false;
+  return floor <= 0.0 || minSff() >= floor;
+}
+
+namespace {
+
+FreqClass shiftFreq(FreqClass f, int delta) {
+  const int v = std::clamp(static_cast<int>(f) + delta, 0,
+                           static_cast<int>(FreqClass::Continuous));
+  return static_cast<FreqClass>(v);
+}
+
+}  // namespace
+
+SensitivityScenario SensitivityAnalyzer::evalScenario(
+    const std::string& name, const FitModel& fit,
+    const std::function<void(FmeaSheet&)>& mutate, double baseSff) const {
+  FmeaSheet sheet = factory_(fit);
+  if (mutate) mutate(sheet);
+  sheet.compute();
+  SensitivityScenario s;
+  s.name = name;
+  s.sff = sheet.sff();
+  s.dc = sheet.dc();
+  s.deltaSff = s.sff - baseSff;
+  return s;
+}
+
+SensitivityResult SensitivityAnalyzer::run() const {
+  SensitivityResult out;
+  {
+    FmeaSheet base = factory_(base_);
+    base.compute();
+    out.baselineSff = base.sff();
+    out.baselineDc = base.dc();
+  }
+  const double b = out.baselineSff;
+
+  out.scenarios.push_back(
+      evalScenario("fit-permanent x0.5", base_.scaled(0.5, 1.0), {}, b));
+  out.scenarios.push_back(
+      evalScenario("fit-permanent x2.0", base_.scaled(2.0, 1.0), {}, b));
+  out.scenarios.push_back(
+      evalScenario("fit-transient x0.5", base_.scaled(1.0, 0.5), {}, b));
+  out.scenarios.push_back(
+      evalScenario("fit-transient x2.0", base_.scaled(1.0, 2.0), {}, b));
+
+  out.scenarios.push_back(evalScenario(
+      "S-arch halved", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) r.safe.architectural *= 0.5;
+      },
+      b));
+  out.scenarios.push_back(evalScenario(
+      "S-arch +50% toward 1", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) {
+          r.safe.architectural += 0.5 * (1.0 - r.safe.architectural);
+        }
+      },
+      b));
+
+  out.scenarios.push_back(evalScenario(
+      "freq class -1", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) r.freq = shiftFreq(r.freq, -1);
+      },
+      b));
+  out.scenarios.push_back(evalScenario(
+      "freq class +1", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) r.freq = shiftFreq(r.freq, +1);
+      },
+      b));
+
+  out.scenarios.push_back(evalScenario(
+      "lifetime x0.5", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) r.lifetimeFraction *= 0.5;
+      },
+      b));
+  out.scenarios.push_back(evalScenario(
+      "lifetime x2.0", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) {
+          r.lifetimeFraction = std::min(1.0, r.lifetimeFraction * 2.0);
+        }
+      },
+      b));
+
+  out.scenarios.push_back(evalScenario(
+      "DDF derated to 90%", base_,
+      [](FmeaSheet& s) {
+        for (FmeaRow& r : s.rows()) {
+          for (DiagnosticClaim& c : r.claims) c.claimedDc *= 0.9;
+        }
+      },
+      b));
+
+  return out;
+}
+
+}  // namespace socfmea::fmea

@@ -1,0 +1,65 @@
+// Sensitivity / span analysis (paper, Section 4): "an important step of the
+// FMEA is to span the values of the assumptions (such [as] the elementary
+// failure rates for transient and permanent faults or the user assumptions
+// such [as] S, D and F) in order to measure the sensitivity of the final
+// DC/SFF to these changes."  Section 6 then validates that the improved
+// architecture's SFF "was very stable" under these spans.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fmea/sheet.hpp"
+
+namespace socfmea::fmea {
+
+struct SensitivityScenario {
+  std::string name;
+  double sff = 0.0;
+  double dc = 0.0;
+  double deltaSff = 0.0;  ///< sff - baseline sff
+};
+
+struct SensitivityResult {
+  double baselineSff = 0.0;
+  double baselineDc = 0.0;
+  std::vector<SensitivityScenario> scenarios;
+
+  [[nodiscard]] double minSff() const;
+  [[nodiscard]] double maxSff() const;
+  /// Worst-case |ΔSFF| across all scenarios.
+  [[nodiscard]] double maxAbsDelta() const;
+  /// "Stable" in the paper's sense: every span keeps SFF within `tol` and
+  /// (when `floor` > 0) above the SIL floor.
+  [[nodiscard]] bool stable(double tol, double floor = 0.0) const;
+};
+
+class SensitivityAnalyzer {
+ public:
+  /// `factory` rebuilds the complete sheet (population, classification,
+  /// S/D/F assignments, DDF claims) for a given FIT model, exactly as the
+  /// nominal analysis did.
+  using SheetFactory = std::function<FmeaSheet(const FitModel&)>;
+
+  SensitivityAnalyzer(SheetFactory factory, FitModel base)
+      : factory_(std::move(factory)), base_(base) {}
+
+  /// Runs the standard span set:
+  ///   FIT permanent x0.5 / x2, FIT transient x0.5 / x2,
+  ///   architectural S factors halved / pushed toward 1,
+  ///   frequency classes shifted one step up / down,
+  ///   lifetime fractions x0.5 / x2 (clamped),
+  ///   all DDF claims derated to 90 % of their value.
+  [[nodiscard]] SensitivityResult run() const;
+
+ private:
+  [[nodiscard]] SensitivityScenario evalScenario(
+      const std::string& name, const FitModel& fit,
+      const std::function<void(FmeaSheet&)>& mutate, double baseSff) const;
+
+  SheetFactory factory_;
+  FitModel base_;
+};
+
+}  // namespace socfmea::fmea

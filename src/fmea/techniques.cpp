@@ -1,0 +1,135 @@
+#include "fmea/techniques.hpp"
+
+namespace socfmea::fmea {
+
+namespace {
+
+using enum TechniqueImpl;
+
+constexpr FaultClassCoverage kBoth{true, true};
+constexpr FaultClassCoverage kPermOnly{true, false};
+
+const std::vector<Technique> kCatalogue = {
+    // --- A.3 electromechanical / A.4 processing units ------------------------
+    {"cpu-comparator", "Comparator (dual-channel lockstep)", "A.4", Hardware,
+     DcLevel::High, kBoth},
+    {"cpu-majority-voter", "Majority voter (2oo3)", "A.4", Hardware,
+     DcLevel::High, kBoth},
+    {"cpu-self-test-sw", "Self-test by software (limited pattern)", "A.4",
+     Software, DcLevel::Medium, kPermOnly},
+    {"cpu-self-test-hw", "Self-test supported by hardware (one channel)",
+     "A.4", Hardware, DcLevel::Medium, kPermOnly},
+    {"cpu-reciprocal-compare", "Reciprocal comparison by software", "A.4",
+     Software, DcLevel::High, kBoth},
+
+    // --- A.5 invariable memory ------------------------------------------------
+    {"rom-hamming", "Word-saving multi-bit redundancy (modified Hamming)",
+     "A.5", Hardware, DcLevel::High, kBoth},
+    // The signature techniques run periodically: a flipped stored bit is a
+    // persistent image corruption and is caught on the next pass, so they
+    // cover soft errors of the stored image as well as cell defects.
+    {"rom-checksum", "Modified checksum", "A.5", Software, DcLevel::Low,
+     kBoth},
+    {"rom-crc", "Signature of one word (CRC)", "A.5", Software,
+     DcLevel::Medium, kBoth},
+    {"rom-crc-double", "Signature of a double word (double CRC)", "A.5",
+     Software, DcLevel::High, kBoth},
+    {"rom-replication", "Block replication with comparison", "A.5", Hardware,
+     DcLevel::High, kBoth},
+
+    // --- A.6 variable memory ---------------------------------------------------
+    {"ram-test-checkerboard", "RAM test checkerboard", "A.6", Software,
+     DcLevel::Low, kPermOnly},
+    {"ram-test-march", "RAM test march (e.g. March C-)", "A.6", Software,
+     DcLevel::Medium, kPermOnly},
+    {"ram-test-galpat", "RAM test galpat / transparent galpat", "A.6",
+     Software, DcLevel::High, kPermOnly},
+    {"ram-test-abraham", "RAM test Abraham", "A.6", Software, DcLevel::High,
+     kPermOnly},
+    {"ram-parity", "One-bit redundancy (parity) for RAM", "A.6", Hardware,
+     DcLevel::Low, kBoth},
+    {"ram-ecc", "RAM monitoring with a modified Hamming code (ECC)", "A.6",
+     Hardware, DcLevel::High, kBoth},
+    {"ram-double-compare",
+     "Double RAM with hardware or software comparison and read/write test",
+     "A.6", Hardware, DcLevel::High, kBoth},
+
+    // --- A.7 I/O units and interfaces ------------------------------------------
+    {"io-test-pattern", "Test pattern (input/output units)", "A.7", Hardware,
+     DcLevel::High, kBoth},
+    {"io-code-protection", "Code protection for I/O", "A.7", Hardware,
+     DcLevel::Medium, kBoth},
+    {"io-multi-channel", "Multi-channel parallel output with comparison",
+     "A.7", Hardware, DcLevel::High, kBoth},
+    {"io-monitored-outputs", "Monitored outputs (read-back)", "A.7", Hardware,
+     DcLevel::Medium, kBoth},
+    {"io-input-voting", "Input comparison / voting (1oo2, 2oo3)", "A.7",
+     Hardware, DcLevel::High, kBoth},
+
+    // --- A.8 data paths / bus ----------------------------------------------------
+    {"bus-parity", "One-bit hardware redundancy on the bus (parity)", "A.8",
+     Hardware, DcLevel::Low, kBoth},
+    {"bus-multibit", "Multi-bit hardware redundancy on the bus (EDC)", "A.8",
+     Hardware, DcLevel::Medium, kBoth},
+    {"bus-full-redundancy", "Complete hardware redundancy of the bus", "A.8",
+     Hardware, DcLevel::High, kBoth},
+    {"bus-test-pattern", "Inspection using test patterns on the bus", "A.8",
+     Hardware, DcLevel::High, kPermOnly},
+    {"bus-transmission-redundancy", "Transmission redundancy (repeat)", "A.8",
+     Hardware, DcLevel::Medium, kBoth},
+    {"bus-information-redundancy",
+     "Information redundancy (checksum over frames)", "A.8", Software,
+     DcLevel::Medium, kBoth},
+
+    // --- A.9 power supply ---------------------------------------------------------
+    {"psu-overvoltage", "Overvoltage protection with safety shut-off", "A.9",
+     Hardware, DcLevel::Low, kBoth},
+    {"psu-voltage-control", "Voltage control (secondary)", "A.9", Hardware,
+     DcLevel::Medium, kBoth},
+    {"psu-powerdown", "Power-down with safety shut-off", "A.9", Hardware,
+     DcLevel::High, kBoth},
+
+    // --- A.10 program sequence / A.11 clock ----------------------------------------
+    {"wdg-simple", "Watchdog with separate time base, no window", "A.10",
+     Hardware, DcLevel::Low, kBoth},
+    {"wdg-window", "Watchdog with separate time base and time window", "A.10",
+     Hardware, DcLevel::Medium, kBoth},
+    {"seq-logical-monitor", "Logical monitoring of the program sequence",
+     "A.10", Software, DcLevel::Medium, kBoth},
+    {"seq-combined", "Combined temporal and logical program-flow monitoring",
+     "A.10", Hardware, DcLevel::High, kBoth},
+    {"clk-monitor", "Clock monitoring (frequency/period supervision)", "A.11",
+     Hardware, DcLevel::Medium, kBoth},
+
+    // --- A.12/A.13 misc hardware ------------------------------------------------------
+    {"addr-in-code",
+     "Addresses folded into the information redundancy (address coding)",
+     "A.6", Hardware, DcLevel::High, kBoth},
+    {"redundant-checker", "Double-redundant hardware error checker", "A.4",
+     Hardware, DcLevel::High, kBoth},
+    {"syndrome-distributed",
+     "Distributed syndrome checking (field-level error discrimination)",
+     "A.6", Hardware, DcLevel::High, kBoth},
+    {"scrubbing", "Memory scrubbing with error-location bookkeeping", "A.6",
+     Hardware, DcLevel::Medium, kBoth},
+    {"mpu-pages", "Distributed memory protection unit (access permissions)",
+     "A.7", Hardware, DcLevel::Medium, kBoth},
+};
+
+}  // namespace
+
+const std::vector<Technique>& techniqueCatalogue() { return kCatalogue; }
+
+std::optional<Technique> findTechnique(std::string_view key) {
+  for (const Technique& t : kCatalogue) {
+    if (t.key == key) return t;
+  }
+  return std::nullopt;
+}
+
+double maxDcFor(std::string_view key) {
+  const auto t = findTechnique(key);
+  return t ? dcLevelValue(t->maxDc) : 0.0;
+}
+
+}  // namespace socfmea::fmea

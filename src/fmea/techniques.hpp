@@ -1,0 +1,48 @@
+// Catalogue of fault-detection / fault-tolerance techniques with the maximum
+// diagnostic coverage the norm considers achievable for each — a
+// representative excerpt of IEC 61508-2 Annex A, tables A.2–A.13 ("Annex 2,
+// tables A.2-A.13, where it is specified the maximum diagnostic coverage
+// considered achievable by a given technique", paper Section 4).
+//
+// DDF claims entered in the FMEA sheet reference techniques by key; the
+// sheet caps every claim at the technique's maximum DC.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fmea/iec61508.hpp"
+
+namespace socfmea::fmea {
+
+/// Whether the technique is implemented in hardware or software, which the
+/// sheet tracks separately ("distinguished between DDF due to HW and SW
+/// techniques").
+enum class TechniqueImpl : std::uint8_t { Hardware, Software };
+
+/// Which fault persistence classes the technique can detect.
+struct FaultClassCoverage {
+  bool permanent = true;
+  bool transient = true;
+};
+
+struct Technique {
+  std::string_view key;    ///< stable identifier used by DDF claims
+  std::string_view name;   ///< the norm's wording
+  std::string_view table;  ///< Annex A table reference ("A.6", ...)
+  TechniqueImpl impl = TechniqueImpl::Hardware;
+  DcLevel maxDc = DcLevel::Low;
+  FaultClassCoverage covers;
+};
+
+/// The full built-in catalogue.
+[[nodiscard]] const std::vector<Technique>& techniqueCatalogue();
+
+/// Lookup by key.
+[[nodiscard]] std::optional<Technique> findTechnique(std::string_view key);
+
+/// Maximum claimable DC for a technique key; 0 for unknown keys.
+[[nodiscard]] double maxDcFor(std::string_view key);
+
+}  // namespace socfmea::fmea

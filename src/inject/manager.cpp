@@ -1,0 +1,225 @@
+#include "inject/manager.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "faultsim/parallel.hpp"
+
+namespace socfmea::inject {
+
+std::string_view outcomeName(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::NoEffect: return "no-effect";
+    case Outcome::SafeMasked: return "safe-masked";
+    case Outcome::SafeDetected: return "safe-detected";
+    case Outcome::DangerousDetected: return "dangerous-detected";
+    case Outcome::DangerousUndetected: return "dangerous-undetected";
+  }
+  return "?";
+}
+
+bool isSafeOutcome(Outcome o) noexcept {
+  return o == Outcome::NoEffect || o == Outcome::SafeMasked ||
+         o == Outcome::SafeDetected;
+}
+
+std::size_t CampaignResult::count(Outcome o) const {
+  std::size_t n = 0;
+  for (const InjectionRecord& r : records) {
+    if (r.outcome == o) ++n;
+  }
+  return n;
+}
+
+double CampaignResult::measuredSafeFraction() const {
+  const std::size_t activated = records.size() - count(Outcome::NoEffect);
+  if (activated == 0) return 1.0;
+  const std::size_t safe =
+      count(Outcome::SafeMasked) + count(Outcome::SafeDetected);
+  return static_cast<double>(safe) / static_cast<double>(activated);
+}
+
+double CampaignResult::measuredDdf() const {
+  const std::size_t dd = count(Outcome::DangerousDetected);
+  const std::size_t du = count(Outcome::DangerousUndetected);
+  if (dd + du == 0) return 1.0;
+  return static_cast<double>(dd) / static_cast<double>(dd + du);
+}
+
+std::uint64_t CampaignResult::detectionLatency(const InjectionRecord& r) {
+  if (!r.obs.diag) return 0;
+  const std::uint64_t start = r.obs.obs ? r.obs.firstObsCycle
+                              : r.obs.sens ? r.obs.sensCycle
+                                           : r.obs.diagCycle;
+  return r.obs.diagCycle > start ? r.obs.diagCycle - start : 0;
+}
+
+double CampaignResult::meanDetectionLatency() const {
+  std::uint64_t sum = 0;
+  std::size_t n = 0;
+  for (const InjectionRecord& r : records) {
+    if (!r.obs.diag) continue;
+    sum += detectionLatency(r);
+    ++n;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+std::uint64_t CampaignResult::maxDetectionLatency() const {
+  std::uint64_t m = 0;
+  for (const InjectionRecord& r : records) {
+    if (r.obs.diag) m = std::max(m, detectionLatency(r));
+  }
+  return m;
+}
+
+double CampaignResult::measuredSff() const {
+  const std::size_t activated = records.size() - count(Outcome::NoEffect);
+  if (activated == 0) return 1.0;
+  const std::size_t du = count(Outcome::DangerousUndetected);
+  return 1.0 - static_cast<double>(du) / static_cast<double>(activated);
+}
+
+CampaignResult InjectionManager::run(sim::Workload& wl,
+                                     const fault::FaultList& faults,
+                                     CoverageCollector* coverage,
+                                     const CampaignOptions& opt) {
+  // Record the stimulus once; golden and every faulty machine replay it
+  // (deterministic backdoor actions are re-executed on each machine).
+  const faultsim::StimulusTrace stim = faultsim::recordStimulus(*nl_, wl);
+  const GoldenReference golden =
+      recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values);
+
+  CampaignResult result;
+  result.records.reserve(faults.size());
+  LockstepMonitors monitors(env_, golden);
+
+  sim::Simulator sim(*nl_);
+  for (const fault::Fault& f : faults) {
+    InjectionRecord rec;
+    rec.fault = f;
+    rec.zone = targetZoneOf(*env_.zones, f);
+
+    fault::FaultHarness harness(f);
+    std::optional<fault::FaultHarness> latent;
+    if (opt.preexisting.has_value()) latent.emplace(*opt.preexisting);
+    wl.restart();
+    sim.reset();
+    for (netlist::MemoryId m = 0; m < nl_->memoryCount(); ++m) {
+      sim.memory(m).clearFaults();
+      sim.memory(m).fillAll(0);
+    }
+    if (latent) latent->install(sim);
+    harness.install(sim);
+    monitors.begin(rec.obs);
+
+    const std::uint64_t total = stim.cycles() + opt.drainCycles;
+    for (std::uint64_t c = 0; c < total; ++c) {
+      if (latent) latent->beforeCycle(sim, c);
+      harness.beforeCycle(sim, c);
+      if (c < stim.cycles()) {
+        for (std::size_t i = 0; i < stim.inputs.size(); ++i) {
+          sim.setInput(stim.inputs[i], sim::fromBool(stim.values[c][i]));
+        }
+        wl.backdoor(sim, c);
+      }
+      sim.evalComb();
+      if (harness.wantsPulse(c)) {
+        harness.applyPulse(sim);
+        sim.evalComb();
+      }
+      monitors.observe(sim, c);
+      ++result.cyclesSimulated;
+      sim.clockEdge();
+      harness.afterEdge(sim);
+
+      if (opt.earlyAbort && rec.obs.obs) {
+        // Classification is final once the alarm fired or the window closed.
+        if (rec.obs.diag ||
+            c > rec.obs.firstObsCycle + env_.detectionWindow) {
+          break;
+        }
+      }
+    }
+    harness.remove(sim);
+    if (latent) latent->remove(sim);
+
+    if (!rec.obs.obs) {
+      if (rec.obs.diag) {
+        rec.outcome = Outcome::SafeDetected;
+      } else if (rec.obs.sens) {
+        rec.outcome = Outcome::SafeMasked;
+      } else {
+        rec.outcome = Outcome::NoEffect;
+      }
+    } else {
+      const bool timely =
+          rec.obs.diag &&
+          rec.obs.diagCycle <= rec.obs.firstObsCycle + env_.detectionWindow;
+      rec.outcome =
+          timely ? Outcome::DangerousDetected : Outcome::DangerousUndetected;
+    }
+    if (coverage != nullptr) coverage->account(rec.obs);
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+fault::FaultList InjectionManager::zoneFailureFaults(
+    const OperationalProfile& profile, std::size_t perBit,
+    std::uint64_t seed) const {
+  sim::Rng rng(seed);
+  fault::FaultList out;
+  const auto& db = *env_.zones;
+  for (zones::ZoneId zid : env_.targetZones) {
+    const zones::SensibleZone& z = db.zone(zid);
+    const auto& act = profile.zone(zid);
+    const auto pickCycle = [&]() -> std::uint64_t {
+      if (!act.activeCycles.empty()) {
+        return act.activeCycles[rng.below(act.activeCycles.size())];
+      }
+      return profile.totalCycles() > 0 ? rng.below(profile.totalCycles()) : 0;
+    };
+    if (z.kind == zones::ZoneKind::Memory) {
+      const auto& mem = nl_->memory(z.mem);
+      for (std::size_t i = 0; i < perBit * 4; ++i) {
+        fault::Fault f;
+        f.kind = fault::FaultKind::MemSoftError;
+        f.mem = z.mem;
+        f.addr = rng.below(std::uint64_t{1} << mem.addrBits);
+        f.bit = static_cast<std::uint32_t>(rng.below(mem.dataBits));
+        f.cycle = pickCycle();
+        out.push_back(f);
+      }
+      continue;
+    }
+    for (netlist::CellId ff : z.ffs) {
+      for (std::size_t i = 0; i < perBit; ++i) {
+        fault::Fault f;
+        f.kind = fault::FaultKind::SeuFlip;
+        f.cell = ff;
+        f.net = nl_->cell(ff).output;
+        f.cycle = pickCycle();
+        out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+void printCampaign(std::ostream& out, const CampaignResult& r) {
+  out << "campaign: " << r.records.size() << " injections, "
+      << r.cyclesSimulated << " cycles\n";
+  for (const Outcome o :
+       {Outcome::NoEffect, Outcome::SafeMasked, Outcome::SafeDetected,
+        Outcome::DangerousDetected, Outcome::DangerousUndetected}) {
+    out << "  " << outcomeName(o) << ": " << r.count(o) << "\n";
+  }
+  out << "  measured safe fraction " << r.measuredSafeFraction() * 100.0
+      << "%, DDF " << r.measuredDdf() * 100.0 << "%, experimental SFF "
+      << r.measuredSff() * 100.0 << "%\n";
+  out << "  detection latency: mean " << r.meanDetectionLatency()
+      << " cycles, max " << r.maxDetectionLatency() << " cycles\n";
+}
+
+}  // namespace socfmea::inject

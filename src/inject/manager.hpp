@@ -1,0 +1,105 @@
+// Fault Injection Manager (paper, Figure 4): "this function runs all the
+// injection campaign based on automatically generated fault lists and
+// collects all the results."  Golden and faulty machines replay the same
+// recorded workload stimulus; the monitors classify every injection.
+#pragma once
+
+#include <iosfwd>
+
+#include <optional>
+
+#include "fault/harness.hpp"
+#include "inject/coverage.hpp"
+#include "inject/monitors.hpp"
+
+namespace socfmea::inject {
+
+/// Outcome of one injection in IEC terms.
+enum class Outcome : std::uint8_t {
+  NoEffect,            ///< nothing deviated anywhere (fault not activated)
+  SafeMasked,          ///< the zone deviated but no functional output did
+  SafeDetected,        ///< no functional deviation, but the diagnostic fired
+  DangerousDetected,   ///< functional deviation, alarm within the window
+  DangerousUndetected, ///< functional deviation, no (timely) alarm
+};
+
+[[nodiscard]] std::string_view outcomeName(Outcome o) noexcept;
+/// Safe in the SFF sense (everything except DangerousUndetected counts
+/// toward the numerator; DangerousDetected is counted via λDD).
+[[nodiscard]] bool isSafeOutcome(Outcome o) noexcept;
+
+struct InjectionRecord {
+  fault::Fault fault;
+  zones::ZoneId zone = zones::kNoZone;  ///< primary target zone
+  Outcome outcome = Outcome::NoEffect;
+  InjectionObservation obs;
+};
+
+struct CampaignResult {
+  std::vector<InjectionRecord> records;
+  std::uint64_t cyclesSimulated = 0;
+
+  [[nodiscard]] std::size_t count(Outcome o) const;
+  /// Detection latency of one record: cycles from the first observable
+  /// deviation (functional or zone) to the alarm; 0 when the alarm led.
+  [[nodiscard]] static std::uint64_t detectionLatency(
+      const InjectionRecord& r);
+  /// Mean / max detection latency over the detected records — the input to
+  /// the process-safety-time argument (the diagnostic must annunciate well
+  /// inside the time the system can tolerate the fault).
+  [[nodiscard]] double meanDetectionLatency() const;
+  [[nodiscard]] std::uint64_t maxDetectionLatency() const;
+  /// Measured safe fraction over activated faults (NoEffect excluded — an
+  /// unactivated fault says nothing about the architecture).
+  [[nodiscard]] double measuredSafeFraction() const;
+  /// Measured DDF = DD / (DD + DU).
+  [[nodiscard]] double measuredDdf() const;
+  /// Experimental SFF analogue: (safe + DD) / activated.
+  [[nodiscard]] double measuredSff() const;
+};
+
+struct CampaignOptions {
+  /// Stop a faulty machine once its classification can no longer change.
+  bool earlyAbort = true;
+  /// Run-on cycles after the workload (lets late alarms fire).
+  std::uint64_t drainCycles = 0;
+  /// Dual-point analysis: a *latent* fault installed in every faulty
+  /// machine before the campaign fault (but absent from the golden
+  /// reference).  Measures how the architecture degrades when a first fault
+  /// has already defeated part of the diagnostics — the reason the norm
+  /// demands latent-fault tests at HFT 0.
+  std::optional<fault::Fault> preexisting;
+};
+
+class InjectionManager {
+ public:
+  InjectionManager(const netlist::Netlist& nl, InjectionEnvironment env)
+      : nl_(&nl), env_(std::move(env)) {}
+
+  [[nodiscard]] const InjectionEnvironment& environment() const noexcept {
+    return env_;
+  }
+
+  /// Runs the campaign; `coverage`, when non-null, accumulates the
+  /// completeness counters.
+  [[nodiscard]] CampaignResult run(sim::Workload& wl,
+                                   const fault::FaultList& faults,
+                                   CoverageCollector* coverage = nullptr,
+                                   const CampaignOptions& opt = {});
+
+  /// The paper's validation step (a): "exhaustive fault injection of
+  /// sensible zone failures" — for every target zone, SEU faults on each of
+  /// its flip-flops (or soft errors for memory zones) at up to `perBit`
+  /// profile-sampled live cycles.
+  [[nodiscard]] fault::FaultList zoneFailureFaults(
+      const OperationalProfile& profile, std::size_t perBit,
+      std::uint64_t seed) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  InjectionEnvironment env_;
+};
+
+void printCampaign(std::ostream& out, const CampaignResult& r);
+
+}  // namespace socfmea::inject

@@ -1,0 +1,130 @@
+#include "inject/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace socfmea::inject {
+
+OperationalProfile OperationalProfile::record(
+    const zones::ZoneDatabase& db, sim::Workload& wl,
+    std::size_t maxActiveCyclesPerZone) {
+  const auto& nl = db.design();
+  sim::Simulator sim(nl);
+
+  OperationalProfile p;
+  p.activity_.assign(db.size(), {});
+  const std::uint64_t cycles = wl.cycles();
+  p.cycles_ = cycles;
+
+  // Previous settled value of every zone value net.
+  std::vector<std::vector<sim::Logic>> prev(db.size());
+  for (const zones::SensibleZone& z : db.zones()) {
+    prev[z.id].assign(z.valueNets.size(), sim::Logic::LX);
+  }
+  std::vector<std::uint64_t> lastChange(db.size(), 0);
+  std::vector<std::uint64_t> holdSum(db.size(), 0);
+  std::vector<std::uint64_t> holdCount(db.size(), 0);
+
+  wl.restart();
+  sim.reset();
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    wl.drive(sim, c);
+    wl.backdoor(sim, c);
+    sim.evalComb();
+    for (const zones::SensibleZone& z : db.zones()) {
+      bool changed = false;
+      auto& pv = prev[z.id];
+      for (std::size_t i = 0; i < z.valueNets.size(); ++i) {
+        const sim::Logic v = sim.value(z.valueNets[i]);
+        if (v != pv[i]) {
+          // The first transition out of X is initialization, not activity.
+          if (!sim::isUnknown(pv[i])) changed = true;
+          pv[i] = v;
+        }
+      }
+      if (changed) {
+        ZoneActivity& a = p.activity_[z.id];
+        if (a.writes == 0) {
+          a.firstActive = c;
+        } else {
+          holdSum[z.id] += c - lastChange[z.id];
+          ++holdCount[z.id];
+        }
+        lastChange[z.id] = c;
+        a.lastActive = c;
+        ++a.writes;
+        if (a.activeCycles.size() < maxActiveCyclesPerZone) {
+          a.activeCycles.push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+    }
+    sim.clockEdge();
+  }
+
+  for (zones::ZoneId z = 0; z < p.activity_.size(); ++z) {
+    ZoneActivity& a = p.activity_[z];
+    a.activeFraction =
+        cycles == 0 ? 0.0
+                    : static_cast<double>(a.writes) / static_cast<double>(cycles);
+    a.avgHoldCycles = holdCount[z] == 0
+                          ? static_cast<double>(cycles)
+                          : static_cast<double>(holdSum[z]) /
+                                static_cast<double>(holdCount[z]);
+  }
+  return p;
+}
+
+std::vector<zones::ZoneId> OperationalProfile::untriggeredZones() const {
+  std::vector<zones::ZoneId> out;
+  for (zones::ZoneId z = 0; z < activity_.size(); ++z) {
+    if (!activity_[z].triggered()) out.push_back(z);
+  }
+  return out;
+}
+
+double OperationalProfile::completeness() const {
+  if (activity_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const ZoneActivity& a : activity_) {
+    if (a.triggered()) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(activity_.size());
+}
+
+fmea::FreqClass OperationalProfile::freqClassOf(zones::ZoneId z) const {
+  const double f = activity_.at(z).activeFraction;
+  if (f >= 0.70) return fmea::FreqClass::Continuous;
+  if (f >= 0.30) return fmea::FreqClass::High;
+  if (f >= 0.08) return fmea::FreqClass::Medium;
+  if (f > 0.0) return fmea::FreqClass::Low;
+  return fmea::FreqClass::VeryLow;
+}
+
+double OperationalProfile::lifetimeFractionOf(zones::ZoneId z) const {
+  const ZoneActivity& a = activity_.at(z);
+  if (a.writes == 0 || cycles_ == 0) return 1.0;
+  const double period =
+      static_cast<double>(cycles_) / static_cast<double>(a.writes);
+  if (period <= 0.0) return 1.0;
+  return std::min(1.0, a.avgHoldCycles / period);
+}
+
+void OperationalProfile::print(std::ostream& out,
+                               const zones::ZoneDatabase& db,
+                               std::size_t maxZones) const {
+  out << "operational profile over " << cycles_ << " cycles, completeness "
+      << completeness() * 100.0 << "%\n";
+  std::size_t shown = 0;
+  for (const zones::SensibleZone& z : db.zones()) {
+    if (shown++ >= maxZones) {
+      out << "  ... (" << db.size() - maxZones << " more zones)\n";
+      break;
+    }
+    const ZoneActivity& a = activity_[z.id];
+    out << "  " << z.name << ": writes " << a.writes << ", active "
+        << a.activeFraction * 100.0 << "%, hold " << a.avgHoldCycles
+        << " cycles\n";
+  }
+}
+
+}  // namespace socfmea::inject

@@ -1,0 +1,48 @@
+#include "inject/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace socfmea::inject {
+
+RandomWorkload::RandomWorkload(
+    const netlist::Netlist& nl, std::uint64_t cycles, std::uint64_t seed,
+    std::vector<std::pair<netlist::NetId, bool>> pinned)
+    : pinned_(std::move(pinned)), cycles_(cycles), seed_(seed), rng_(seed) {
+  for (netlist::CellId pi : nl.primaryInputs()) {
+    const netlist::NetId net = nl.cell(pi).output;
+    const bool isPinned =
+        std::any_of(pinned_.begin(), pinned_.end(),
+                    [&](const auto& p) { return p.first == net; });
+    if (!isPinned) inputs_.push_back(net);
+  }
+}
+
+void RandomWorkload::drive(sim::Simulator& sim, std::uint64_t /*cycle*/) {
+  for (netlist::NetId n : inputs_) {
+    sim.setInput(n, sim::fromBool(rng_.coin()));
+  }
+  for (const auto& [net, v] : pinned_) sim.setInput(net, sim::fromBool(v));
+}
+
+VectorWorkload::VectorWorkload(std::string name,
+                               std::vector<netlist::NetId> inputs,
+                               std::vector<std::vector<bool>> values)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      values_(std::move(values)) {
+  for (const auto& row : values_) {
+    if (row.size() != inputs_.size()) {
+      throw std::invalid_argument("vector width mismatch in VectorWorkload");
+    }
+  }
+}
+
+void VectorWorkload::drive(sim::Simulator& sim, std::uint64_t cycle) {
+  const auto& row = values_.at(cycle);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    sim.setInput(inputs_[i], sim::fromBool(row[i]));
+  }
+}
+
+}  // namespace socfmea::inject

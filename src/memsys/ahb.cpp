@@ -1,0 +1,47 @@
+#include "memsys/ahb.hpp"
+
+#include <stdexcept>
+
+namespace socfmea::memsys {
+
+void AhbMultilayer::post(const AhbTransaction& txn) {
+  queues_.at(txn.master).push_back(txn);
+}
+
+bool AhbMultilayer::idle() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void AhbMultilayer::step() {
+  if (slave_ == nullptr) throw std::logic_error("no slave connected");
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t m = (rrNext_ + i) % n;
+    if (queues_[m].empty()) continue;
+    if (slave_->acceptTransaction(queues_[m].front())) {
+      queues_[m].pop_front();
+      ++granted_;
+      rrNext_ = (m + 1) % n;  // fair hand-off
+    } else {
+      ++waits_;  // slave wait-stated the highest-priority master
+    }
+    return;  // one grant attempt per cycle
+  }
+}
+
+void AhbMultilayer::complete(const AhbResponse& resp) {
+  responses_.at(resp.master).push_back(resp);
+}
+
+std::optional<AhbResponse> AhbMultilayer::collect(std::uint32_t master) {
+  auto& q = responses_.at(master);
+  if (q.empty()) return std::nullopt;
+  AhbResponse r = q.front();
+  q.pop_front();
+  return r;
+}
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,82 @@
+// AHB-lite multilayer bus model (paper, Figure 5: "in such a case a AHB
+// multilayer bus").  Cycle-timed at transaction granularity: every master
+// port queues transactions, a round-robin arbiter grants one per cycle to
+// the slave, responses come back with the slave's latency.  The privilege
+// and master-id side-band signals are what the MCE's distributed MPU
+// discriminates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "memsys/mpu.hpp"
+
+namespace socfmea::memsys {
+
+struct AhbTransaction {
+  std::uint64_t addr = 0;
+  bool write = false;
+  std::uint32_t wdata = 0;
+  Privilege priv = Privilege::Machine;  ///< HPROT[1]-style side band
+  std::uint32_t master = 0;
+  std::uint64_t tag = 0;  ///< caller-chosen identifier
+};
+
+struct AhbResponse {
+  std::uint64_t tag = 0;
+  std::uint32_t master = 0;
+  bool write = false;
+  bool error = false;    ///< HRESP = ERROR (e.g. MPU violation)
+  std::uint32_t rdata = 0;
+};
+
+/// The slave side: accepts a granted transaction (false = wait-state, the
+/// arbiter retries next cycle) and later completes it.
+class AhbSlave {
+ public:
+  virtual ~AhbSlave() = default;
+  [[nodiscard]] virtual bool acceptTransaction(const AhbTransaction& txn) = 0;
+};
+
+class AhbMultilayer {
+ public:
+  explicit AhbMultilayer(std::size_t masterCount)
+      : queues_(masterCount), responses_(masterCount) {}
+
+  [[nodiscard]] std::size_t masterCount() const noexcept {
+    return queues_.size();
+  }
+
+  void connectSlave(AhbSlave* slave) { slave_ = slave; }
+
+  /// Master side: queue a transaction.
+  void post(const AhbTransaction& txn);
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::size_t pending(std::uint32_t master) const {
+    return queues_.at(master).size();
+  }
+
+  /// One bus cycle: round-robin grant of one queued transaction.
+  void step();
+
+  /// Slave calls this when a transaction finishes; the response is queued
+  /// for the master to collect.
+  void complete(const AhbResponse& resp);
+  [[nodiscard]] std::optional<AhbResponse> collect(std::uint32_t master);
+
+  [[nodiscard]] std::uint64_t granted() const noexcept { return granted_; }
+  [[nodiscard]] std::uint64_t waitStates() const noexcept { return waits_; }
+
+ private:
+  std::vector<std::deque<AhbTransaction>> queues_;
+  std::vector<std::deque<AhbResponse>> responses_;
+  AhbSlave* slave_ = nullptr;
+  std::size_t rrNext_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t waits_ = 0;
+};
+
+}  // namespace socfmea::memsys

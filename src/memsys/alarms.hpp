@@ -1,0 +1,44 @@
+// Alarm concentrator: the "BUS + ALARMS" outputs of Figure 5.  Every safety
+// mechanism in the sub-system reports here; the counters are what the
+// injection monitors and the functional benches observe.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace socfmea::memsys {
+
+struct AlarmCounters {
+  std::uint64_t singleCorrected = 0;  ///< ECC corrected a single-bit error
+  std::uint64_t doubleError = 0;      ///< uncorrectable double-bit error
+  std::uint64_t addressError = 0;     ///< v2 addressing-error discrimination
+  std::uint64_t coderCheckError = 0;  ///< v2 post-coder checker
+  std::uint64_t pipeCheckError = 0;   ///< v2 redundant pipeline checker
+  std::uint64_t wbufParityError = 0;  ///< v2 write-buffer parity
+  std::uint64_t mpuViolation = 0;     ///< MCE distributed MPU
+  std::uint64_t busError = 0;         ///< AHB error responses issued
+
+  [[nodiscard]] std::uint64_t uncorrectable() const noexcept {
+    return doubleError + addressError + pipeCheckError + wbufParityError;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return singleCorrected + doubleError + addressError + coderCheckError +
+           pipeCheckError + wbufParityError + mpuViolation + busError;
+  }
+
+  AlarmCounters& operator+=(const AlarmCounters& o) noexcept {
+    singleCorrected += o.singleCorrected;
+    doubleError += o.doubleError;
+    addressError += o.addressError;
+    coderCheckError += o.coderCheckError;
+    pipeCheckError += o.pipeCheckError;
+    wbufParityError += o.wbufParityError;
+    mpuViolation += o.mpuViolation;
+    busError += o.busError;
+    return *this;
+  }
+};
+
+void printAlarms(std::ostream& out, const AlarmCounters& a);
+
+}  // namespace socfmea::memsys

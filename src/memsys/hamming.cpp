@@ -1,0 +1,181 @@
+#include "memsys/hamming.hpp"
+
+#include <bit>
+
+namespace socfmea::memsys {
+
+namespace {
+
+constexpr bool isPowerOfTwo(std::uint32_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Hamming positions (1..38) of the 32 data bits, in order.
+constexpr std::array<std::uint32_t, kDataBits> makeDataPositions() {
+  std::array<std::uint32_t, kDataBits> out{};
+  std::uint32_t d = 0;
+  for (std::uint32_t p = 1; p <= 38 && d < kDataBits; ++p) {
+    if (!isPowerOfTwo(p)) out[d++] = p;
+  }
+  return out;
+}
+
+constexpr auto kDataPos = makeDataPositions();
+
+}  // namespace
+
+std::string_view eccStatusName(EccStatus s) noexcept {
+  switch (s) {
+    case EccStatus::Ok: return "ok";
+    case EccStatus::CorrectedData: return "corrected-data";
+    case EccStatus::CorrectedCheck: return "corrected-check";
+    case EccStatus::DoubleError: return "double-error";
+    case EccStatus::AddressError: return "address-error";
+  }
+  return "?";
+}
+
+std::uint32_t HammingCodec::dataPosition(std::uint32_t d) noexcept {
+  return kDataPos[d];
+}
+
+std::uint32_t HammingCodec::dataBitIndex(std::uint32_t d) noexcept {
+  return kDataPos[d] - 1;
+}
+
+std::uint32_t HammingCodec::checkBitIndex(std::uint32_t c) noexcept {
+  return (1u << c) - 1;
+}
+
+std::uint32_t HammingCodec::checkCoverage(std::uint32_t c) noexcept {
+  std::uint32_t mask = 0;
+  for (std::uint32_t d = 0; d < kDataBits; ++d) {
+    if (kDataPos[d] & (1u << c)) mask |= (1u << d);
+  }
+  return mask;
+}
+
+std::uint8_t HammingCodec::addressFold(std::uint64_t addr) noexcept {
+  // Address bits occupy *virtual* Hamming positions 39..62 (not stored in
+  // the word; recomputed from the address port on both encode and decode).
+  // The fold is the XOR of the position codes of the set address bits, mixed
+  // into the check bits.  A read at the wrong address therefore produces a
+  // nonzero syndrome with coherent overall parity — an even-flip signature
+  // that can never be silently "corrected" into wrong data.
+  std::uint8_t h = 0;
+  for (std::uint32_t i = 0; addr != 0; ++i, addr >>= 1) {
+    if (addr & 1u) {
+      h = static_cast<std::uint8_t>(h ^ (39u + (i % 24u)));
+    }
+  }
+  return h;
+}
+
+std::uint64_t HammingCodec::encode(std::uint32_t data,
+                                   std::uint64_t addr) const noexcept {
+  std::uint64_t code = 0;
+  for (std::uint32_t d = 0; d < kDataBits; ++d) {
+    if (data & (1u << d)) code |= (std::uint64_t{1} << dataBitIndex(d));
+  }
+  std::uint8_t checks = 0;
+  for (std::uint32_t c = 0; c < kCheckBits; ++c) {
+    const bool parity = std::popcount(data & checkCoverage(c)) & 1;
+    if (parity) checks |= (1u << c);
+  }
+  if (foldAddress_) checks ^= addressFold(addr);
+  for (std::uint32_t c = 0; c < kCheckBits; ++c) {
+    if (checks & (1u << c)) code |= (std::uint64_t{1} << checkBitIndex(c));
+  }
+  // Overall parity over bits 0..37.
+  const bool overall = std::popcount(code & ((std::uint64_t{1} << 38) - 1)) & 1;
+  if (overall) code |= (std::uint64_t{1} << 38);
+  return code;
+}
+
+HammingCodec::SyndromeWord HammingCodec::computeSyndrome(
+    std::uint64_t code, std::uint64_t addr) const noexcept {
+  std::uint32_t data = 0;
+  for (std::uint32_t d = 0; d < kDataBits; ++d) {
+    if (code & (std::uint64_t{1} << dataBitIndex(d))) data |= (1u << d);
+  }
+  std::uint8_t storedChecks = 0;
+  for (std::uint32_t c = 0; c < kCheckBits; ++c) {
+    if (code & (std::uint64_t{1} << checkBitIndex(c))) {
+      storedChecks |= (1u << c);
+    }
+  }
+  std::uint8_t expectedChecks = 0;
+  for (std::uint32_t c = 0; c < kCheckBits; ++c) {
+    if (std::popcount(data & checkCoverage(c)) & 1) {
+      expectedChecks |= (1u << c);
+    }
+  }
+  if (foldAddress_) expectedChecks ^= addressFold(addr);
+
+  SyndromeWord sw;
+  sw.syndrome = static_cast<std::uint8_t>(storedChecks ^ expectedChecks);
+  const bool storedParity = (code >> 38) & 1u;
+  const bool actualParity =
+      std::popcount(code & ((std::uint64_t{1} << 38) - 1)) & 1;
+  sw.parityMismatch = storedParity != actualParity;
+  return sw;
+}
+
+DecodeResult HammingCodec::decode(std::uint64_t code,
+                                  std::uint64_t addr) const noexcept {
+  return applySyndrome(code, computeSyndrome(code, addr));
+}
+
+DecodeResult HammingCodec::applySyndrome(std::uint64_t code,
+                                         SyndromeWord sw) const noexcept {
+  DecodeResult r;
+  std::uint32_t data = 0;
+  for (std::uint32_t d = 0; d < kDataBits; ++d) {
+    if (code & (std::uint64_t{1} << dataBitIndex(d))) data |= (1u << d);
+  }
+  r.syndrome = sw.syndrome;
+  r.parityMismatch = sw.parityMismatch;
+  r.data = data;
+
+  if (r.syndrome == 0 && !r.parityMismatch) {
+    r.status = EccStatus::Ok;
+    return r;
+  }
+  if (r.syndrome == 0 && r.parityMismatch) {
+    // The overall parity bit itself flipped.
+    r.status = EccStatus::CorrectedCheck;
+    return r;
+  }
+  if (r.parityMismatch) {
+    // Odd number of flipped bits: single-error signature at position
+    // `syndrome`.
+    const std::uint32_t pos = r.syndrome;
+    if (pos >= 1 && pos <= 38 && !isPowerOfTwo(pos)) {
+      // Locate the data bit at this position and correct it.
+      for (std::uint32_t d = 0; d < kDataBits; ++d) {
+        if (kDataPos[d] == pos) {
+          r.data = data ^ (1u << d);
+          break;
+        }
+      }
+      r.status = EccStatus::CorrectedData;
+    } else if (pos >= 1 && pos <= 38) {
+      r.status = EccStatus::CorrectedCheck;  // a check bit flipped
+    } else {
+      // Syndrome points outside the code word: inconsistent, uncorrectable.
+      r.status = foldAddress_ ? EccStatus::AddressError
+                              : EccStatus::DoubleError;
+    }
+    return r;
+  }
+  // syndrome != 0, parity consistent: an even number of bits differ.  With
+  // the address folded into the code this is the wrong-address signature
+  // (the fold mismatch flips an even-weight pattern of check dimensions
+  // while leaving the word's internal parity coherent); true double-bit cell
+  // defects are far rarer once scrubbing is active, so v2 labels the event
+  // an addressing error.  Either way the word is uncorrectable and alarmed.
+  r.status = foldAddress_ ? EccStatus::AddressError : EccStatus::DoubleError;
+  return r;
+}
+
+}  // namespace socfmea::memsys

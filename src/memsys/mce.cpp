@@ -1,0 +1,67 @@
+#include "memsys/mce.hpp"
+
+namespace socfmea::memsys {
+
+bool Mce::acceptTransaction(const AhbTransaction& txn) {
+  const MpuVerdict verdict = mpu_->check(
+      txn.addr, txn.write ? AccessKind::Write : AccessKind::Read, txn.priv);
+  if (verdict != MpuVerdict::Allowed) {
+    ++mceAlarms_.mpuViolation;
+    ++mceAlarms_.busError;
+    AhbResponse resp;
+    resp.tag = txn.tag;
+    resp.master = txn.master;
+    resp.write = txn.write;
+    resp.error = true;
+    bus_->complete(resp);
+    return true;  // consumed (with an ERROR response)
+  }
+
+  if (txn.write) {
+    if (!fmem_->canAcceptWrite()) return false;  // wait-state
+    fmem_->requestWrite(txn.addr, txn.wdata);
+    busActiveThisCycle_ = true;
+    AhbResponse resp;
+    resp.tag = txn.tag;
+    resp.master = txn.master;
+    resp.write = true;
+    bus_->complete(resp);  // posted write: OKAY as soon as buffered
+    return true;
+  }
+
+  if (!fmem_->canAcceptRead()) return false;  // wait-state
+  const std::uint64_t tag = nextTag_++;
+  fmem_->requestRead(txn.addr, tag);
+  outstanding_.emplace(tag, txn);
+  busActiveThisCycle_ = true;
+  return true;
+}
+
+void Mce::tick() {
+  // The scrub DMA may use the memory port only when the bus left it idle.
+  const bool busIdle = !busActiveThisCycle_;
+  busActiveThisCycle_ = false;
+
+  if (const auto rc = fmem_->tick(busIdle)) {
+    const auto it = outstanding_.find(rc->tag);
+    if (it != outstanding_.end()) {
+      AhbResponse resp;
+      resp.tag = it->second.tag;
+      resp.master = it->second.master;
+      resp.write = false;
+      resp.rdata = rc->data;
+      resp.error = rc->uncorrectable;
+      if (rc->uncorrectable) ++mceAlarms_.busError;
+      bus_->complete(resp);
+      outstanding_.erase(it);
+    }
+  }
+}
+
+AlarmCounters Mce::alarms() const {
+  AlarmCounters a = fmem_->alarms();
+  a += mceAlarms_;
+  return a;
+}
+
+}  // namespace socfmea::memsys

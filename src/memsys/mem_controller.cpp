@@ -1,0 +1,33 @@
+#include "memsys/mem_controller.hpp"
+
+namespace socfmea::memsys {
+
+std::uint64_t MemController::mangle(std::uint64_t addr) const {
+  if (!stuckBit_.has_value()) return addr;
+  const std::uint64_t bit = std::uint64_t{1} << *stuckBit_;
+  const std::uint64_t mangled = stuckValue_ ? (addr | bit) : (addr & ~bit);
+  return mangled % mem_->words();
+}
+
+void MemController::issueWrite(std::uint64_t addr, std::uint64_t code) {
+  mem_->writeCode(mangle(addr) % mem_->words(), code);
+}
+
+bool MemController::issueRead(std::uint64_t addr, std::uint64_t tag) {
+  if (pendingRead_.has_value()) return false;
+  ReadReturn r;
+  r.addr = addr;  // the *requested* address travels with the data (for the
+                  // address-aware decode); the array sees the mangled one
+  r.code = mem_->readCode(mangle(addr) % mem_->words());
+  r.tag = tag;
+  pendingRead_ = r;
+  return true;
+}
+
+std::optional<MemController::ReadReturn> MemController::tick() {
+  auto out = pendingRead_;
+  pendingRead_.reset();
+  return out;
+}
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,56 @@
+// Memory controller: the unprotected-by-ECC piece of Figure 5 ("some SW
+// start-up tests were identified for the memory controller parts not covered
+// by the memory protection IP").  One memory operation per cycle, single
+// outstanding read with one-cycle SRAM latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "memsys/memory_array.hpp"
+
+namespace socfmea::memsys {
+
+class MemController {
+ public:
+  explicit MemController(CodeMemory& mem) : mem_(&mem) {}
+
+  struct ReadReturn {
+    std::uint64_t addr = 0;
+    std::uint64_t code = 0;
+    std::uint64_t tag = 0;
+  };
+
+  [[nodiscard]] bool busy() const noexcept { return pendingRead_.has_value(); }
+
+  /// Issues a write this cycle (completes immediately at the array).
+  void issueWrite(std::uint64_t addr, std::uint64_t code);
+
+  /// Issues a read this cycle; data is returned by the next tick().
+  /// Returns false while a read is already outstanding.
+  bool issueRead(std::uint64_t addr, std::uint64_t tag);
+
+  /// Advances one cycle; returns completed read data, if any.
+  [[nodiscard]] std::optional<ReadReturn> tick();
+
+  // ---- fault-injection hooks ---------------------------------------------
+
+  /// Stuck address line in the controller (the "registers involved in
+  /// addresses latching" critical zone): every issued address has bit
+  /// `bit` forced to `value`.
+  void setStuckAddrBit(std::uint32_t bit, bool value) {
+    stuckBit_ = bit;
+    stuckValue_ = value;
+  }
+  void clearStuckAddrBit() { stuckBit_.reset(); }
+
+ private:
+  [[nodiscard]] std::uint64_t mangle(std::uint64_t addr) const;
+
+  CodeMemory* mem_;
+  std::optional<ReadReturn> pendingRead_;
+  std::optional<std::uint32_t> stuckBit_;
+  bool stuckValue_ = false;
+};
+
+}  // namespace socfmea::memsys

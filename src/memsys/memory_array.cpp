@@ -1,0 +1,2 @@
+// CodeMemory is header-only; this translation unit anchors it in the build.
+#include "memsys/memory_array.hpp"

@@ -1,0 +1,37 @@
+// The protected memory array: 39-bit code words (32 data + SEC-DED check
+// bits) over a sim::MemoryModel, inheriting the IEC variable-memory fault
+// models (stuck cells, addressing faults, cross-over, soft errors).
+#pragma once
+
+#include "memsys/hamming.hpp"
+#include "sim/memory_model.hpp"
+
+namespace socfmea::memsys {
+
+class CodeMemory {
+ public:
+  explicit CodeMemory(std::uint32_t addrBits)
+      : addrBits_(addrBits), model_(addrBits, kCodeBits) {}
+
+  [[nodiscard]] std::uint32_t addrBits() const noexcept { return addrBits_; }
+  [[nodiscard]] std::uint64_t words() const noexcept { return model_.words(); }
+
+  /// Stores a pre-encoded 39-bit code word (through the fault models).
+  void writeCode(std::uint64_t addr, std::uint64_t code) {
+    model_.write(addr, code);
+  }
+  /// Reads the raw 39-bit code word (through the fault models).
+  [[nodiscard]] std::uint64_t readCode(std::uint64_t addr) const {
+    return model_.read(addr);
+  }
+
+  /// Fault-injection / checker backdoor (bypasses fault models).
+  [[nodiscard]] sim::MemoryModel& model() noexcept { return model_; }
+  [[nodiscard]] const sim::MemoryModel& model() const noexcept { return model_; }
+
+ private:
+  std::uint32_t addrBits_;
+  sim::MemoryModel model_;
+};
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,168 @@
+#include "memsys/startup_tests.hpp"
+
+#include <ostream>
+
+namespace socfmea::memsys {
+
+bool StartupReport::allPassed() const {
+  for (const auto& r : results) {
+    if (!r.passed) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// One march element: walk the array in the given direction; at each address
+// verify `expect` then write `writeVal` (skip the write when `writeBack` is
+// false).
+bool marchElement(MemSubsystem& sys, bool up, bool doRead,
+                  std::uint32_t expect, bool doWrite, std::uint32_t writeVal,
+                  std::string& detail) {
+  const std::uint64_t words = sys.array().words();
+  for (std::uint64_t i = 0; i < words; ++i) {
+    const std::uint64_t a = up ? i : words - 1 - i;
+    if (doRead) {
+      const auto v = sys.read(a);
+      if (!v.has_value() || *v != expect) {
+        detail = "mismatch at addr " + std::to_string(a);
+        return false;
+      }
+    }
+    if (doWrite) {
+      if (!sys.write(a, writeVal)) {
+        detail = "write rejected at addr " + std::to_string(a);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StartupTestResult marchCMinus(MemSubsystem& sys) {
+  StartupTestResult r;
+  r.name = "march-c-";
+  const std::uint32_t d0 = 0x00000000u;
+  const std::uint32_t d1 = 0xFFFFFFFFu;
+  r.passed = marchElement(sys, true, false, 0, true, d0, r.detail) &&   // ^(w0)
+             marchElement(sys, true, true, d0, true, d1, r.detail) &&   // ^(r0,w1)
+             marchElement(sys, true, true, d1, true, d0, r.detail) &&   // ^(r1,w0)
+             marchElement(sys, false, true, d0, true, d1, r.detail) &&  // v(r0,w1)
+             marchElement(sys, false, true, d1, true, d0, r.detail) &&  // v(r1,w0)
+             marchElement(sys, false, true, d0, false, 0, r.detail);    // v(r0)
+  if (r.passed) r.detail = "array + controller address path clean";
+  return r;
+}
+
+StartupTestResult checkerSelfTest(MemSubsystem& sys) {
+  StartupTestResult r;
+  r.name = "checker-self-test";
+  const std::uint64_t probeAddr = 0;
+  const std::uint32_t payload = 0xA5C33C5Au;
+
+  if (!sys.write(probeAddr, payload)) {
+    r.detail = "probe write failed";
+    return r;
+  }
+  sys.idle(8);  // let the write buffer drain into the array
+  sys.clearAlarms();
+
+  // Single-bit corruption must be corrected and alarmed.
+  sys.injectSoftError(probeAddr, 3);
+  const auto v1 = sys.read(probeAddr);
+  if (!v1.has_value() || *v1 != payload) {
+    r.detail = "single-bit error not corrected";
+    return r;
+  }
+  if (sys.alarms().singleCorrected == 0) {
+    r.detail = "corrected-error alarm silent";
+    return r;
+  }
+
+  // Double-bit corruption must be detected as uncorrectable.
+  sys.idle(sys.array().words() * 2 + 16);  // allow scrubbing to repair first
+  sys.clearAlarms();
+  sys.injectSoftError(probeAddr, 5);
+  sys.injectSoftError(probeAddr, 11);
+  const auto v2 = sys.read(probeAddr);
+  const auto a = sys.alarms();
+  if (v2.has_value() && *v2 != payload) {
+    r.detail = "double-bit error silently mis-corrected";
+    return r;
+  }
+  if (a.doubleError + a.addressError + a.pipeCheckError == 0) {
+    r.detail = "uncorrectable-error alarm silent";
+    return r;
+  }
+
+  // Clean up the planted error.
+  if (!sys.write(probeAddr, payload)) {
+    r.detail = "cleanup write failed";
+    return r;
+  }
+  r.passed = true;
+  r.detail = "decoder alarms alive";
+  return r;
+}
+
+StartupTestResult mpuConfigTest(MemSubsystem& sys) {
+  StartupTestResult r;
+  r.name = "mpu-config-test";
+  Mpu& mpu = sys.mpu();
+  const std::size_t lastPage = mpu.pageCount() - 1;
+  const PageAttributes saved = mpu.attributes(lastPage);
+
+  // Initialize the probe cell while the page is still writable — in v2 an
+  // uninitialized cell reads back as an address-code error, which would
+  // masquerade as an MPU denial.
+  const std::uint64_t probe = sys.array().words() - 1;
+  if (!sys.write(probe, 0x600DF00Du)) {
+    r.detail = "probe initialization write failed";
+    return r;
+  }
+  sys.idle(8);
+
+  PageAttributes locked;
+  locked.readable = true;
+  locked.writable = false;
+  locked.privilegedOnly = true;
+  mpu.configure(lastPage, locked);
+
+  const bool writeDenied = !sys.write(probe, 1, Privilege::Machine);
+  const bool userDenied = !sys.read(probe, Privilege::User).has_value();
+  const bool machineReadOk = sys.read(probe, Privilege::Machine).has_value();
+
+  mpu.configure(lastPage, saved);
+
+  if (!writeDenied) {
+    r.detail = "write to read-only page was not denied";
+  } else if (!userDenied) {
+    r.detail = "user access to privileged page was not denied";
+  } else if (!machineReadOk) {
+    r.detail = "legitimate machine read was denied";
+  } else {
+    r.passed = true;
+    r.detail = "page permissions enforced";
+  }
+  return r;
+}
+
+StartupReport runStartupTests(MemSubsystem& sys) {
+  StartupReport rep;
+  rep.results.push_back(marchCMinus(sys));
+  rep.results.push_back(checkerSelfTest(sys));
+  rep.results.push_back(mpuConfigTest(sys));
+  return rep;
+}
+
+void printStartupReport(std::ostream& out, const StartupReport& rep) {
+  out << "SW start-up tests: " << (rep.allPassed() ? "PASS" : "FAIL") << "\n";
+  for (const auto& r : rep.results) {
+    out << "  " << r.name << ": " << (r.passed ? "pass" : "FAIL") << " ("
+        << r.detail << ")\n";
+  }
+}
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,59 @@
+#include "memsys/write_buffer.hpp"
+
+#include <bit>
+
+namespace socfmea::memsys {
+
+bool WriteBuffer::parity32(std::uint32_t v) noexcept {
+  return std::popcount(v) & 1;
+}
+
+bool WriteBuffer::parity64(std::uint64_t v) noexcept {
+  return std::popcount(v) & 1;
+}
+
+bool WriteBuffer::push(std::uint64_t addr, std::uint32_t data) {
+  if (full()) return false;
+  WriteBufferEntry e;
+  e.addr = addr;
+  e.data = data;
+  if (parity_) {
+    e.addrParity = parity64(addr);
+    e.dataParity = parity32(data);
+  }
+  fifo_.push_back(e);
+  return true;
+}
+
+std::optional<WriteBufferEntry> WriteBuffer::pop(bool* parityError) {
+  if (parityError != nullptr) *parityError = false;
+  if (fifo_.empty()) return std::nullopt;
+  WriteBufferEntry e = fifo_.front();
+  fifo_.pop_front();
+  if (parity_ && parityError != nullptr) {
+    *parityError = (parity64(e.addr) != e.addrParity) ||
+                   (parity32(e.data) != e.dataParity);
+  }
+  return e;
+}
+
+std::optional<std::uint32_t> WriteBuffer::forward(std::uint64_t addr) const {
+  for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+    if (it->addr == addr) return it->data;
+  }
+  return std::nullopt;
+}
+
+void WriteBuffer::corrupt(std::size_t index, std::uint32_t bit) {
+  if (index >= fifo_.size()) return;
+  WriteBufferEntry& e = fifo_[index];
+  if (bit < 32) {
+    e.data ^= (1u << bit);
+  } else if (bit < 63) {
+    e.addr ^= (std::uint64_t{1} << (bit - 32));
+  } else {
+    e.dataParity = !e.dataParity;
+  }
+}
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,58 @@
+// Write buffer in front of the encoder ("this first circuit included a
+// write buffer ... in order to guarantee the timing closure", paper
+// Section 6).  The v1 buffer is unprotected — its registers ranked among
+// the most critical zones — so v2 adds parity bits ("adding parity bits to
+// the write buffer").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace socfmea::memsys {
+
+struct WriteBufferEntry {
+  std::uint64_t addr = 0;
+  std::uint32_t data = 0;
+  bool addrParity = false;  ///< even parity over addr (v2)
+  bool dataParity = false;  ///< even parity over data (v2)
+};
+
+class WriteBuffer {
+ public:
+  WriteBuffer(std::size_t depth, bool parityProtected)
+      : depth_(depth), parity_(parityProtected) {}
+
+  [[nodiscard]] bool parityProtected() const noexcept { return parity_; }
+  [[nodiscard]] bool full() const noexcept { return fifo_.size() >= depth_; }
+  [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return fifo_.size(); }
+
+  /// Accepts a write; returns false when full (bus must wait-state).
+  bool push(std::uint64_t addr, std::uint32_t data);
+
+  /// Pops the oldest entry.  `parityError` (when non-null) reports a v2
+  /// parity mismatch — the entry is still delivered (the alarm is the
+  /// safety mechanism, not data suppression).
+  [[nodiscard]] std::optional<WriteBufferEntry> pop(bool* parityError = nullptr);
+
+  /// Forwarding lookup: the newest buffered data for `addr`, so reads hit
+  /// in-flight writes.
+  [[nodiscard]] std::optional<std::uint32_t> forward(std::uint64_t addr) const;
+
+  /// Fault-injection hook: flips one bit of entry `index` (0 = oldest);
+  /// bit 0..31 = data, 32.. = addr, 63 = dataParity.
+  void corrupt(std::size_t index, std::uint32_t bit);
+
+  void clear() { fifo_.clear(); }
+
+ private:
+  static bool parity32(std::uint32_t v) noexcept;
+  static bool parity64(std::uint64_t v) noexcept;
+
+  std::size_t depth_;
+  bool parity_;
+  std::deque<WriteBufferEntry> fifo_;
+};
+
+}  // namespace socfmea::memsys

@@ -1,0 +1,139 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace socfmea::netlist {
+
+bool isCombinational(CellType t) noexcept {
+  switch (t) {
+    case CellType::Const0:
+    case CellType::Const1:
+    case CellType::Buf:
+    case CellType::Not:
+    case CellType::And:
+    case CellType::Or:
+    case CellType::Nand:
+    case CellType::Nor:
+    case CellType::Xor:
+    case CellType::Xnor:
+    case CellType::Mux2:
+      return true;
+    case CellType::Dff:
+    case CellType::Input:
+    case CellType::Output:
+      return false;
+  }
+  return false;
+}
+
+bool isSequential(CellType t) noexcept { return t == CellType::Dff; }
+
+std::string_view cellTypeName(CellType t) noexcept {
+  switch (t) {
+    case CellType::Const0: return "const0";
+    case CellType::Const1: return "const1";
+    case CellType::Buf: return "buf";
+    case CellType::Not: return "not";
+    case CellType::And: return "and";
+    case CellType::Or: return "or";
+    case CellType::Nand: return "nand";
+    case CellType::Nor: return "nor";
+    case CellType::Xor: return "xor";
+    case CellType::Xnor: return "xnor";
+    case CellType::Mux2: return "mux2";
+    case CellType::Dff: return "dff";
+    case CellType::Input: return "input";
+    case CellType::Output: return "output";
+  }
+  return "?";
+}
+
+bool cellTypeFromName(std::string_view name, CellType& out) noexcept {
+  static constexpr std::array<CellType, 14> kAll = {
+      CellType::Const0, CellType::Const1, CellType::Buf,  CellType::Not,
+      CellType::And,    CellType::Or,     CellType::Nand, CellType::Nor,
+      CellType::Xor,    CellType::Xnor,   CellType::Mux2, CellType::Dff,
+      CellType::Input,  CellType::Output};
+  for (CellType t : kAll) {
+    if (cellTypeName(t) == name) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::pair<std::uint32_t, std::uint32_t> cellArity(CellType t) noexcept {
+  switch (t) {
+    case CellType::Const0:
+    case CellType::Const1:
+    case CellType::Input:
+      return {0, 0};
+    case CellType::Buf:
+    case CellType::Not:
+    case CellType::Output:
+      return {1, 1};
+    case CellType::And:
+    case CellType::Or:
+    case CellType::Nand:
+    case CellType::Nor:
+    case CellType::Xor:
+    case CellType::Xnor:
+      return {2, 0};  // unbounded
+    case CellType::Mux2:
+      return {3, 3};
+    case CellType::Dff:
+      return {3, 3};  // d, en (may be kNoNet), rst (may be kNoNet)
+  }
+  return {0, 0};
+}
+
+std::string_view hierPrefix(std::string_view name) noexcept {
+  const auto pos = name.rfind('/');
+  if (pos == std::string_view::npos) return {};
+  return name.substr(0, pos);
+}
+
+std::string_view leafName(std::string_view name) noexcept {
+  const auto pos = name.rfind('/');
+  if (pos == std::string_view::npos) return name;
+  return name.substr(pos + 1);
+}
+
+std::string_view registerStem(std::string_view name, int& bit) noexcept {
+  bit = -1;
+  if (name.empty()) return name;
+  // "foo[12]" form.
+  if (name.back() == ']') {
+    const auto open = name.rfind('[');
+    if (open != std::string_view::npos && open + 1 < name.size() - 1) {
+      int value = 0;
+      bool digits = true;
+      for (std::size_t i = open + 1; i + 1 < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+          digits = false;
+          break;
+        }
+        value = value * 10 + (name[i] - '0');
+      }
+      if (digits) {
+        bit = value;
+        return name.substr(0, open);
+      }
+    }
+    return name;
+  }
+  // "foo_12" form: only if the suffix after the last '_' is all digits.
+  const auto us = name.rfind('_');
+  if (us == std::string_view::npos || us + 1 >= name.size()) return name;
+  int value = 0;
+  for (std::size_t i = us + 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return name;
+    value = value * 10 + (name[i] - '0');
+  }
+  bit = value;
+  return name.substr(0, us);
+}
+
+}  // namespace socfmea::netlist

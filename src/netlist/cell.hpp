@@ -1,0 +1,84 @@
+// Cell library for the gate-level structural netlist.
+//
+// The cell set mirrors what a synthesis tool emits after technology-independent
+// mapping: basic combinational gates, a 2:1 mux, and a single-clock D
+// flip-flop with optional synchronous enable and synchronous reset.  The FMEA
+// extraction tool of the paper works on exactly this kind of post-synthesis
+// structural view.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socfmea::netlist {
+
+/// Identifier of a net (wire) inside a Netlist.  Dense, 0-based.
+using NetId = std::uint32_t;
+/// Identifier of a cell (gate / flip-flop / port) inside a Netlist.
+using CellId = std::uint32_t;
+
+/// Sentinel for "no net connected" (e.g. a flip-flop without enable).
+inline constexpr NetId kNoNet = 0xFFFFFFFFu;
+/// Sentinel for "no cell".
+inline constexpr CellId kNoCell = 0xFFFFFFFFu;
+
+/// The primitive cell set.
+enum class CellType : std::uint8_t {
+  Const0,  ///< constant driver, logic 0
+  Const1,  ///< constant driver, logic 1
+  Buf,     ///< 1-input buffer
+  Not,     ///< inverter
+  And,     ///< N-input AND (N >= 2)
+  Or,      ///< N-input OR (N >= 2)
+  Nand,    ///< N-input NAND
+  Nor,     ///< N-input NOR
+  Xor,     ///< N-input XOR (parity)
+  Xnor,    ///< N-input XNOR
+  Mux2,    ///< 2:1 mux, inputs = {sel, a(sel=0), b(sel=1)}
+  Dff,     ///< D flip-flop, inputs = {d, en|kNoNet, rst|kNoNet}
+  Input,   ///< primary input port (no inputs, drives its output net)
+  Output,  ///< primary output port (one input, no output net)
+};
+
+/// True for cells evaluated in the combinational phase of a cycle.
+[[nodiscard]] bool isCombinational(CellType t) noexcept;
+/// True for state-holding cells (captured on the clock edge).
+[[nodiscard]] bool isSequential(CellType t) noexcept;
+/// Short lowercase mnemonic used by the text format ("and", "dff", ...).
+[[nodiscard]] std::string_view cellTypeName(CellType t) noexcept;
+/// Inverse of cellTypeName(); returns false if the mnemonic is unknown.
+[[nodiscard]] bool cellTypeFromName(std::string_view name, CellType& out) noexcept;
+/// Acceptable input count for a cell type ([min, max]; max==0 means unbounded).
+[[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cellArity(CellType t) noexcept;
+
+/// Fixed input positions of a Dff cell.
+struct DffPins {
+  static constexpr std::size_t kD = 0;    ///< data input
+  static constexpr std::size_t kEn = 1;   ///< synchronous enable (kNoNet = always enabled)
+  static constexpr std::size_t kRst = 2;  ///< synchronous reset, active high (kNoNet = none)
+};
+
+/// One instantiated cell.
+struct Cell {
+  CellType type = CellType::Buf;
+  std::string name;             ///< hierarchical instance name, '/'-separated
+  std::vector<NetId> inputs;    ///< input nets; fixed layout for Mux2/Dff
+  NetId output = kNoNet;        ///< driven net (kNoNet for Output cells)
+  bool dffInit = false;         ///< reset / power-up value for Dff cells
+};
+
+/// Hierarchy helper: the prefix of `name` up to (not including) the last '/'.
+/// Returns "" for a flat name.
+[[nodiscard]] std::string_view hierPrefix(std::string_view name) noexcept;
+
+/// Hierarchy helper: the component after the last '/'.
+[[nodiscard]] std::string_view leafName(std::string_view name) noexcept;
+
+/// Strips a trailing bit index ("foo[3]", "foo_3") and returns the stem
+/// ("foo"); used to compact per-bit flip-flops into register zones.  If no
+/// index is present the full name is returned and `bit` is set to -1.
+[[nodiscard]] std::string_view registerStem(std::string_view name, int& bit) noexcept;
+
+}  // namespace socfmea::netlist

@@ -1,0 +1,62 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+
+namespace socfmea::netlist {
+
+Levelization levelize(const Netlist& nl) {
+  Levelization out;
+  out.level.assign(nl.cellCount(), 0);
+
+  // In-degree of each combinational cell, counting only inputs driven by
+  // other combinational cells (sequential outputs / ports / memory rdata are
+  // already stable when the combinational phase starts).
+  std::vector<std::uint32_t> pending(nl.cellCount(), 0);
+  std::vector<CellId> ready;
+  std::size_t combCount = 0;
+
+  for (CellId id = 0; id < nl.cellCount(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!isCombinational(c.type)) continue;
+    ++combCount;
+    std::uint32_t deps = 0;
+    for (NetId in : c.inputs) {
+      if (in == kNoNet) continue;
+      const Net& n = nl.net(in);
+      if (n.driver != kNoCell && isCombinational(nl.cell(n.driver).type)) {
+        ++deps;
+      }
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+
+  out.order.reserve(combCount);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const CellId id = ready[head];
+    out.order.push_back(id);
+    const Cell& c = nl.cell(id);
+    if (c.output == kNoNet) continue;
+    for (CellId sink : nl.net(c.output).fanout) {
+      const Cell& s = nl.cell(sink);
+      if (!isCombinational(s.type)) continue;
+      out.level[sink] = std::max(out.level[sink], out.level[id] + 1);
+      if (--pending[sink] == 0) ready.push_back(sink);
+    }
+  }
+
+  if (out.order.size() != combCount) {
+    // Find one offender for the diagnostic.
+    for (CellId id = 0; id < nl.cellCount(); ++id) {
+      if (isCombinational(nl.cell(id).type) && pending[id] != 0) {
+        throw NetlistError("combinational cycle through cell '" +
+                           nl.cell(id).name + "'");
+      }
+    }
+    throw NetlistError("combinational cycle detected");
+  }
+  for (CellId id : out.order) out.maxLevel = std::max(out.maxLevel, out.level[id]);
+  return out;
+}
+
+}  // namespace socfmea::netlist

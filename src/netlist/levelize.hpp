@@ -1,0 +1,28 @@
+// Levelization: topological ordering of the combinational cells so one linear
+// pass per cycle evaluates every gate after its inputs.  Flip-flops, primary
+// inputs and memory read ports are sources; flip-flop D pins, primary outputs
+// and memory write/address pins are sinks.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace socfmea::netlist {
+
+/// Result of levelization.
+struct Levelization {
+  /// Combinational cells in evaluation order.
+  std::vector<CellId> order;
+  /// Per-cell logic level (0 for cells fed only by sources); sequential cells
+  /// and ports get level 0.  Indexed by CellId.
+  std::vector<std::uint32_t> level;
+  /// Maximum combinational depth in the design.
+  std::uint32_t maxLevel = 0;
+};
+
+/// Computes the evaluation order.  Throws NetlistError naming a cell on a
+/// combinational cycle if one exists.
+[[nodiscard]] Levelization levelize(const Netlist& nl);
+
+}  // namespace socfmea::netlist

@@ -1,0 +1,177 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "netlist/levelize.hpp"
+
+namespace socfmea::netlist {
+
+NetId Netlist::addNet(std::string name) {
+  if (!name.empty()) {
+    if (netByName_.contains(name)) {
+      throw NetlistError("duplicate net name: " + name);
+    }
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  if (!nets_.back().name.empty()) netByName_.emplace(nets_.back().name, id);
+  return id;
+}
+
+void Netlist::connectInput(CellId cell, NetId net) {
+  if (net == kNoNet) return;  // optional pin left unconnected (Dff en/rst)
+  if (net >= nets_.size()) {
+    throw NetlistError("cell '" + cells_[cell].name + "' references invalid net");
+  }
+  nets_[net].fanout.push_back(cell);
+}
+
+CellId Netlist::addCell(CellType type, std::string name,
+                        std::vector<NetId> inputs, NetId output) {
+  if (name.empty()) throw NetlistError("cell name must not be empty");
+  if (cellByName_.contains(name)) {
+    throw NetlistError("duplicate cell name: " + name);
+  }
+  const auto [minIn, maxIn] = cellArity(type);
+  if (inputs.size() < minIn || (maxIn != 0 && inputs.size() > maxIn)) {
+    throw NetlistError("cell '" + name + "' (" +
+                       std::string(cellTypeName(type)) + ") has " +
+                       std::to_string(inputs.size()) + " inputs, out of range");
+  }
+  if (type == CellType::Output) {
+    if (output != kNoNet) {
+      throw NetlistError("output port '" + name + "' must not drive a net");
+    }
+  } else {
+    if (output == kNoNet || output >= nets_.size()) {
+      throw NetlistError("cell '" + name + "' has invalid output net");
+    }
+    Net& out = nets_[output];
+    if (out.driver != kNoCell || out.memDriver != 0xFFFFFFFFu) {
+      throw NetlistError("net '" + out.name + "' has multiple drivers (cell '" +
+                         name + "')");
+    }
+  }
+
+  const CellId id = static_cast<CellId>(cells_.size());
+  Cell c;
+  c.type = type;
+  c.name = std::move(name);
+  c.inputs = std::move(inputs);
+  c.output = output;
+  cells_.push_back(std::move(c));
+  cellByName_.emplace(cells_.back().name, id);
+  if (output != kNoNet) nets_[output].driver = id;
+  for (NetId in : cells_.back().inputs) connectInput(id, in);
+  return id;
+}
+
+NetId Netlist::addInput(std::string name) {
+  const NetId n = addNet(name);
+  addCell(CellType::Input, name + ".in", {}, n);
+  return n;
+}
+
+CellId Netlist::addOutput(std::string name, NetId src) {
+  return addCell(CellType::Output, std::move(name), {src}, kNoNet);
+}
+
+CellId Netlist::addDff(std::string name, NetId d, NetId q, NetId en, NetId rst,
+                       bool init) {
+  const CellId id = addCell(CellType::Dff, std::move(name), {d, en, rst}, q);
+  cells_[id].dffInit = init;
+  return id;
+}
+
+MemoryId Netlist::addMemory(MemoryInst inst) {
+  if (inst.addr.size() != inst.addrBits || inst.wdata.size() != inst.dataBits ||
+      inst.rdata.size() != inst.dataBits) {
+    throw NetlistError("memory '" + inst.name + "' port width mismatch");
+  }
+  const MemoryId id = static_cast<MemoryId>(memories_.size());
+  for (NetId r : inst.rdata) {
+    Net& n = nets_.at(r);
+    if (n.driver != kNoCell || n.memDriver != 0xFFFFFFFFu) {
+      throw NetlistError("memory rdata net '" + n.name + "' already driven");
+    }
+    n.memDriver = id;
+  }
+  memories_.push_back(std::move(inst));
+  return id;
+}
+
+std::optional<NetId> Netlist::findNet(std::string_view name) const {
+  const auto it = netByName_.find(std::string(name));
+  if (it == netByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CellId> Netlist::findCell(std::string_view name) const {
+  const auto it = cellByName_.find(std::string(name));
+  if (it == cellByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CellId> Netlist::primaryInputs() const {
+  std::vector<CellId> out;
+  for (CellId i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].type == CellType::Input) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<CellId> Netlist::primaryOutputs() const {
+  std::vector<CellId> out;
+  for (CellId i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].type == CellType::Output) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<CellId> Netlist::flipFlops() const {
+  std::vector<CellId> out;
+  for (CellId i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].type == CellType::Dff) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Netlist::gateCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(),
+                    [](const Cell& c) { return isCombinational(c.type); }));
+}
+
+void Netlist::check() const {
+  for (NetId i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (n.driver == kNoCell && n.memDriver == 0xFFFFFFFFu) {
+      throw NetlistError("net '" +
+                         (n.name.empty() ? ("#" + std::to_string(i)) : n.name) +
+                         "' has no driver");
+    }
+  }
+  for (const Cell& c : cells_) {
+    for (std::size_t p = 0; p < c.inputs.size(); ++p) {
+      const NetId in = c.inputs[p];
+      if (in == kNoNet) {
+        const bool optionalPin =
+            c.type == CellType::Dff && (p == DffPins::kEn || p == DffPins::kRst);
+        if (!optionalPin) {
+          throw NetlistError("cell '" + c.name + "' pin " + std::to_string(p) +
+                             " unconnected");
+        }
+        continue;
+      }
+      if (in >= nets_.size()) {
+        throw NetlistError("cell '" + c.name + "' references invalid net");
+      }
+    }
+  }
+  // Combinational-cycle check is what levelize() performs.
+  (void)levelize(*this);
+}
+
+}  // namespace socfmea::netlist

@@ -1,0 +1,126 @@
+// The structural netlist graph: nets, cells, and attached behavioural
+// memories.  This is the common substrate for the whole library — the
+// simulator evaluates it, the sensible-zone extractor traverses it, and the
+// fault universe is enumerated from it.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace socfmea::netlist {
+
+/// Error thrown on malformed netlist construction or failed checks.
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Identifier of a behavioural memory instance.
+using MemoryId = std::uint32_t;
+
+/// A behavioural memory macro attached to the netlist.  Reads are
+/// synchronous (rdata registers at the clock edge, like an SRAM macro), which
+/// keeps the combinational graph acyclic.
+struct MemoryInst {
+  std::string name;
+  std::uint32_t addrBits = 0;
+  std::uint32_t dataBits = 0;
+  std::vector<NetId> addr;   ///< addrBits nets, LSB first
+  std::vector<NetId> wdata;  ///< dataBits nets, LSB first
+  std::vector<NetId> rdata;  ///< dataBits nets, LSB first (driven by the memory)
+  NetId writeEnable = kNoNet;
+  NetId readEnable = kNoNet;  ///< kNoNet = read every cycle
+};
+
+/// One net (wire).  Driver and fanout are maintained by Netlist.
+struct Net {
+  std::string name;          ///< optional; "" for anonymous nets
+  CellId driver = kNoCell;   ///< driving cell (or kNoCell for memory rdata)
+  MemoryId memDriver = 0xFFFFFFFFu;  ///< set when driven by a memory read port
+  std::vector<CellId> fanout;        ///< cells reading this net
+};
+
+/// The netlist graph.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction -------------------------------------------------------
+
+  /// Creates a net.  Named nets must be unique; "" creates an anonymous net.
+  NetId addNet(std::string name = {});
+
+  /// Instantiates a cell.  `output` must not already have a driver.
+  /// Input/output counts are validated against cellArity().
+  CellId addCell(CellType type, std::string name, std::vector<NetId> inputs,
+                 NetId output);
+
+  /// Convenience: primary input port; returns the net it drives.
+  NetId addInput(std::string name);
+
+  /// Convenience: primary output port observing `src`.
+  CellId addOutput(std::string name, NetId src);
+
+  /// Convenience: D flip-flop. `en`/`rst` may be kNoNet.
+  CellId addDff(std::string name, NetId d, NetId q, NetId en = kNoNet,
+                NetId rst = kNoNet, bool init = false);
+
+  /// Attaches a behavioural memory.  rdata nets must be undriven.
+  MemoryId addMemory(MemoryInst inst);
+
+  // ---- lookup -------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] std::size_t netCount() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t cellCount() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t memoryCount() const noexcept { return memories_.size(); }
+
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id); }
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id); }
+  [[nodiscard]] const MemoryInst& memory(MemoryId id) const { return memories_.at(id); }
+
+  [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+  [[nodiscard]] const std::vector<MemoryInst>& memories() const noexcept { return memories_; }
+
+  /// Finds a net by name; returns std::nullopt if absent.
+  [[nodiscard]] std::optional<NetId> findNet(std::string_view name) const;
+  /// Finds a cell by instance name; returns std::nullopt if absent.
+  [[nodiscard]] std::optional<CellId> findCell(std::string_view name) const;
+
+  /// All primary input cells / output cells, in creation order.
+  [[nodiscard]] std::vector<CellId> primaryInputs() const;
+  [[nodiscard]] std::vector<CellId> primaryOutputs() const;
+  /// All flip-flop cells, in creation order.
+  [[nodiscard]] std::vector<CellId> flipFlops() const;
+
+  /// Number of combinational gates (excludes ports and flip-flops).
+  [[nodiscard]] std::size_t gateCount() const;
+
+  // ---- integrity ----------------------------------------------------------
+
+  /// Structural design-rule check: every net has exactly one driver, all cell
+  /// pins reference valid nets, no combinational cycles.  Throws NetlistError
+  /// with a diagnostic on the first violation.
+  void check() const;
+
+ private:
+  void connectInput(CellId cell, NetId net);
+
+  std::string name_ = "top";
+  std::vector<Net> nets_;
+  std::vector<Cell> cells_;
+  std::vector<MemoryInst> memories_;
+  std::unordered_map<std::string, NetId> netByName_;
+  std::unordered_map<std::string, CellId> cellByName_;
+};
+
+}  // namespace socfmea::netlist

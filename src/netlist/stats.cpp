@@ -1,0 +1,59 @@
+#include "netlist/stats.hpp"
+
+#include <ostream>
+
+#include "netlist/levelize.hpp"
+
+namespace socfmea::netlist {
+
+DesignStats computeStats(const Netlist& nl) {
+  DesignStats s;
+  s.nets = nl.netCount();
+  s.memories = nl.memoryCount();
+  for (const MemoryInst& m : nl.memories()) {
+    s.memoryBits += (std::size_t{1} << m.addrBits) * m.dataBits;
+  }
+  for (const Cell& c : nl.cells()) {
+    s.byType[static_cast<std::size_t>(c.type)]++;
+    if (isCombinational(c.type)) ++s.gates;
+    switch (c.type) {
+      case CellType::Dff: ++s.flipFlops; break;
+      case CellType::Input: ++s.primaryInputs; break;
+      case CellType::Output: ++s.primaryOutputs; break;
+      default: break;
+    }
+  }
+  std::size_t drivenNets = 0;
+  std::size_t fanoutSum = 0;
+  for (NetId i = 0; i < nl.netCount(); ++i) {
+    const Net& n = nl.net(i);
+    ++drivenNets;
+    fanoutSum += n.fanout.size();
+    if (n.fanout.size() > s.maxFanout) {
+      s.maxFanout = n.fanout.size();
+      s.maxFanoutNet = n.name.empty() ? ("#" + std::to_string(i)) : n.name;
+    }
+  }
+  s.avgFanout = drivenNets == 0
+                    ? 0.0
+                    : static_cast<double>(fanoutSum) / static_cast<double>(drivenNets);
+  s.maxDepth = levelize(nl).maxLevel;
+  return s;
+}
+
+void printStats(std::ostream& out, const Netlist& nl, const DesignStats& s) {
+  out << "design " << nl.name() << ":\n"
+      << "  nets            " << s.nets << "\n"
+      << "  comb gates      " << s.gates << "\n"
+      << "  flip-flops      " << s.flipFlops << "\n"
+      << "  primary inputs  " << s.primaryInputs << "\n"
+      << "  primary outputs " << s.primaryOutputs << "\n"
+      << "  memories        " << s.memories << " (" << s.memoryBits
+      << " bits)\n"
+      << "  comb depth      " << s.maxDepth << "\n"
+      << "  avg fanout      " << s.avgFanout << "\n"
+      << "  max fanout      " << s.maxFanout << " (" << s.maxFanoutNet
+      << ")\n";
+}
+
+}  // namespace socfmea::netlist

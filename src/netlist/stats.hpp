@@ -1,0 +1,39 @@
+// Design statistics used by the FMEA statistical model: gate counts by type,
+// fanout distribution, combinational depth, and register inventory.  These
+// are "the data needed by the FMEA statistical model, such [as] the
+// composition of the logic cone in front of each sensible zone (gate-count,
+// interconnections and so forth)" (paper, Section 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace socfmea::netlist {
+
+struct DesignStats {
+  std::size_t nets = 0;
+  std::size_t gates = 0;         ///< combinational cells
+  std::size_t flipFlops = 0;
+  std::size_t primaryInputs = 0;
+  std::size_t primaryOutputs = 0;
+  std::size_t memories = 0;
+  std::size_t memoryBits = 0;    ///< total behavioural memory capacity
+  std::uint32_t maxDepth = 0;    ///< combinational levels
+  double avgFanout = 0.0;        ///< mean fanout of driven nets
+  std::size_t maxFanout = 0;
+  std::string maxFanoutNet;      ///< name of the highest-fanout net
+  /// Gate count per CellType (indexed by static_cast<size_t>(CellType)).
+  std::array<std::size_t, 14> byType{};
+};
+
+/// Computes full-design statistics (includes a levelization pass).
+[[nodiscard]] DesignStats computeStats(const Netlist& nl);
+
+/// Human-readable one-design summary table.
+void printStats(std::ostream& out, const Netlist& nl, const DesignStats& s);
+
+}  // namespace socfmea::netlist

@@ -1,0 +1,53 @@
+// Structural netlist text format (".snl") — a minimal gate-level exchange
+// format standing in for the synthesized-netlist files (Verilog) the paper's
+// extraction tool reads from Cadence/Synopsys flows.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//   design <name>
+//   net <netname>
+//   input <netname>
+//   output <portname> <srcnet>
+//   <gate> <cellname> <outnet> <in1> [<in2> ...]       gate in {buf,not,and,
+//                                                      or,nand,nor,xor,xnor,
+//                                                      mux2,const0,const1}
+//   dff <cellname> <qnet> <dnet> [en=<net>] [rst=<net>] [init=0|1]
+//   memory <name> addr=<n,...> wdata=<n,...> rdata=<n,...> we=<net> [re=<net>]
+//
+// Nets are declared implicitly on first use except for `rdata` nets of
+// memories, which must be fresh.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace socfmea::netlist {
+
+/// Parse error with 1-based line information.
+class ParseError : public NetlistError {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : NetlistError("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Reads a netlist from a stream.  Throws ParseError on malformed input.
+[[nodiscard]] Netlist readNetlist(std::istream& in);
+
+/// Reads a netlist from a string (convenience for tests).
+[[nodiscard]] Netlist readNetlistString(const std::string& text);
+
+/// Writes a netlist in the text format.  The output round-trips through
+/// readNetlist() to an equivalent design.
+void writeNetlist(std::ostream& out, const Netlist& nl);
+
+/// Writes to a string.
+[[nodiscard]] std::string writeNetlistString(const Netlist& nl);
+
+}  // namespace socfmea::netlist

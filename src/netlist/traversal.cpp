@@ -1,0 +1,144 @@
+#include "netlist/traversal.hpp"
+
+#include <algorithm>
+
+namespace socfmea::netlist {
+
+namespace {
+
+void sortUnique(std::vector<CellId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots) {
+  Cone cone;
+  std::vector<bool> netSeen(nl.netCount(), false);
+  std::vector<NetId> stack;
+  for (NetId r : roots) {
+    if (r == kNoNet || netSeen[r]) continue;
+    netSeen[r] = true;
+    stack.push_back(r);
+  }
+  std::vector<bool> memSeen(nl.memoryCount(), false);
+
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    cone.nets.push_back(n);
+    const Net& net = nl.net(n);
+    if (net.memDriver != 0xFFFFFFFFu) {
+      if (!memSeen[net.memDriver]) {
+        memSeen[net.memDriver] = true;
+        cone.supportMems.push_back(net.memDriver);
+      }
+      continue;
+    }
+    if (net.driver == kNoCell) continue;
+    const Cell& drv = nl.cell(net.driver);
+    switch (drv.type) {
+      case CellType::Input:
+        cone.supportPis.push_back(net.driver);
+        continue;
+      case CellType::Dff:
+        cone.supportFfs.push_back(net.driver);
+        continue;
+      default:
+        break;
+    }
+    if (!isCombinational(drv.type)) continue;
+    cone.gates.push_back(net.driver);
+    for (NetId in : drv.inputs) {
+      if (in == kNoNet || netSeen[in]) continue;
+      netSeen[in] = true;
+      stack.push_back(in);
+    }
+  }
+  sortUnique(cone.gates);
+  sortUnique(cone.supportFfs);
+  sortUnique(cone.supportPis);
+  std::sort(cone.nets.begin(), cone.nets.end());
+  return cone;
+}
+
+std::vector<CellId> forwardReach(const Netlist& nl,
+                                 const std::vector<NetId>& srcNets,
+                                 bool throughRegisters, bool throughMemories) {
+  std::vector<bool> netSeen(nl.netCount(), false);
+  std::vector<bool> cellSeen(nl.cellCount(), false);
+  std::vector<NetId> stack;
+  const auto push = [&](NetId n) {
+    if (n == kNoNet || netSeen[n]) return;
+    netSeen[n] = true;
+    stack.push_back(n);
+  };
+  for (NetId s : srcNets) push(s);
+
+  // Net -> memories whose write-side pins it feeds.
+  std::vector<std::vector<MemoryId>> memSinks;
+  if (throughMemories && nl.memoryCount() != 0) {
+    memSinks.assign(nl.netCount(), {});
+    for (MemoryId m = 0; m < nl.memoryCount(); ++m) {
+      const MemoryInst& mem = nl.memory(m);
+      for (NetId n : mem.addr) memSinks[n].push_back(m);
+      for (NetId n : mem.wdata) memSinks[n].push_back(m);
+      memSinks[mem.writeEnable].push_back(m);
+      if (mem.readEnable != kNoNet) memSinks[mem.readEnable].push_back(m);
+    }
+  }
+
+  std::vector<CellId> reached;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (!memSinks.empty()) {
+      for (MemoryId m : memSinks[n]) {
+        for (NetId r : nl.memory(m).rdata) push(r);
+      }
+    }
+    for (CellId sink : nl.net(n).fanout) {
+      if (cellSeen[sink]) continue;
+      cellSeen[sink] = true;
+      reached.push_back(sink);
+      const Cell& c = nl.cell(sink);
+      NetId out = kNoNet;
+      if (isCombinational(c.type)) {
+        out = c.output;
+      } else if (c.type == CellType::Dff && throughRegisters) {
+        out = c.output;
+      }
+      if (out != kNoNet && !netSeen[out]) {
+        netSeen[out] = true;
+        stack.push_back(out);
+      }
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+  return reached;
+}
+
+std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src) {
+  std::vector<bool> netSeen(nl.netCount(), false);
+  std::vector<NetId> stack{src};
+  netSeen[src] = true;
+  std::vector<NetId> out;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (CellId sink : nl.net(n).fanout) {
+      const Cell& c = nl.cell(sink);
+      if (!isCombinational(c.type) || c.output == kNoNet) continue;
+      if (!netSeen[c.output]) {
+        netSeen[c.output] = true;
+        stack.push_back(c.output);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace socfmea::netlist

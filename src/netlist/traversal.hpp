@@ -1,0 +1,40 @@
+// Cone traversals.  The sensible-zone theory of the paper is built on the
+// *input logic cone* of a zone (all combinational gates whose faults converge
+// into the zone) and the *output cone* (through which a zone failure migrates
+// to other zones and observation points).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace socfmea::netlist {
+
+/// A fan-in cone: the combinational gates feeding a set of root nets, stopping
+/// at sequential elements, primary inputs and memory read ports.
+struct Cone {
+  std::vector<CellId> gates;       ///< combinational cells in the cone
+  std::vector<CellId> supportFfs;  ///< flip-flops on the cone boundary
+  std::vector<CellId> supportPis;  ///< primary inputs on the boundary
+  std::vector<MemoryId> supportMems;  ///< memories whose rdata feeds the cone
+  std::vector<NetId> nets;         ///< nets internal to / feeding the cone
+};
+
+/// Computes the fan-in cone of `roots` (net ids).
+[[nodiscard]] Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots);
+
+/// Computes the set of cells reachable *forward* from `srcNets` through
+/// combinational logic, crossing flip-flops transparently when
+/// `throughRegisters` is true (i.e. multi-cycle reachability) and crossing
+/// behavioural memories (a corrupted write resurfaces on the read port) when
+/// `throughMemories` is true.  Returns cell ids of every reached cell
+/// including flip-flops and output ports.
+[[nodiscard]] std::vector<CellId> forwardReach(const Netlist& nl,
+                                               const std::vector<NetId>& srcNets,
+                                               bool throughRegisters,
+                                               bool throughMemories = false);
+
+/// Transitive fanout nets of a single net within the combinational phase.
+[[nodiscard]] std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src);
+
+}  // namespace socfmea::netlist

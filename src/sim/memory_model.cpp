@@ -1,0 +1,161 @@
+#include "sim/memory_model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace socfmea::sim {
+
+namespace {
+
+std::uint64_t checkedWords(std::uint32_t addrBits) {
+  if (addrBits > 30) throw std::invalid_argument("memory too large");
+  return std::uint64_t{1} << addrBits;
+}
+
+std::uint64_t checkedMask(std::uint32_t dataBits) {
+  if (dataBits == 0 || dataBits > 64) {
+    throw std::invalid_argument("dataBits must be 1..64");
+  }
+  return dataBits >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << dataBits) - 1;
+}
+
+}  // namespace
+
+MemoryModel::MemoryModel(std::uint32_t addrBits, std::uint32_t dataBits)
+    : addrBits_(addrBits),
+      dataBits_(dataBits),
+      words_(checkedWords(addrBits)),
+      dataMask_(checkedMask(dataBits)),
+      cells_(words_, 0) {}
+
+std::uint64_t MemoryModel::applyStuck(std::uint64_t addr,
+                                      std::uint64_t data) const {
+  const auto it = stuck_.find(addr);
+  if (it == stuck_.end()) return data;
+  return (data & ~it->second.mask) | (it->second.value & it->second.mask);
+}
+
+void MemoryModel::rawWrite(std::uint64_t addr, std::uint64_t data) {
+  cells_[addr] = applyStuck(addr, data & dataMask_);
+}
+
+void MemoryModel::write(std::uint64_t addr, std::uint64_t data) {
+  assert(addr < words_);
+  data &= dataMask_;
+
+  std::uint64_t effective = addr;
+  const auto af = addrFaults_.find(addr);
+  if (af != addrFaults_.end()) {
+    switch (af->second.kind) {
+      case AddressFaultKind::None:
+        break;
+      case AddressFaultKind::NoAccess:
+        return;  // write lost
+      case AddressFaultKind::Wrong:
+        effective = af->second.alias;
+        break;
+      case AddressFaultKind::Multiple:
+        rawWrite(af->second.alias % words_, data);
+        break;
+    }
+  }
+
+  // Dynamic cross-over: a transitioning aggressor bit disturbs the victim.
+  const std::uint64_t before = cells_[effective % words_];
+  rawWrite(effective % words_, data);
+  const std::uint64_t after = cells_[effective % words_];
+  const std::uint64_t toggled = before ^ after;
+  for (const CouplingFault& c : coupling_) {
+    if (c.aggressorAddr != (effective % words_)) continue;
+    if (((toggled >> c.aggressorBit) & 1u) == 0) continue;
+    std::uint64_t victim = cells_[c.victimAddr % words_];
+    const std::uint64_t vbit = std::uint64_t{1} << c.victimBit;
+    if (c.invert) {
+      victim ^= vbit;
+    } else {
+      const bool aggVal = (after >> c.aggressorBit) & 1u;
+      victim = aggVal ? (victim | vbit) : (victim & ~vbit);
+    }
+    cells_[c.victimAddr % words_] = applyStuck(c.victimAddr % words_, victim);
+  }
+}
+
+std::uint64_t MemoryModel::read(std::uint64_t addr) const {
+  assert(addr < words_);
+  std::uint64_t effective = addr;
+  const auto af = addrFaults_.find(addr);
+  if (af != addrFaults_.end()) {
+    switch (af->second.kind) {
+      case AddressFaultKind::None:
+        break;
+      case AddressFaultKind::NoAccess:
+        return dataMask_;  // unselected bit-lines read as precharged ones
+      case AddressFaultKind::Wrong:
+        effective = af->second.alias;
+        break;
+      case AddressFaultKind::Multiple:
+        // Both cells drive the bit-lines: wired-AND.
+        return applyStuck(addr, cells_[addr] & cells_[af->second.alias % words_]);
+    }
+  }
+  const std::uint64_t e = effective % words_;
+  return applyStuck(e, cells_[e]);
+}
+
+std::uint64_t MemoryModel::peek(std::uint64_t addr) const {
+  assert(addr < words_);
+  return cells_[addr];
+}
+
+void MemoryModel::poke(std::uint64_t addr, std::uint64_t data) {
+  assert(addr < words_);
+  cells_[addr] = data & dataMask_;
+}
+
+void MemoryModel::fillAll(std::uint64_t pattern) {
+  for (std::uint64_t a = 0; a < words_; ++a) cells_[a] = pattern & dataMask_;
+}
+
+void MemoryModel::addStuckBit(std::uint64_t addr, std::uint32_t bit, bool value) {
+  assert(addr < words_ && bit < dataBits_);
+  StuckMask& m = stuck_[addr];
+  const std::uint64_t b = std::uint64_t{1} << bit;
+  m.mask |= b;
+  if (value) {
+    m.value |= b;
+  } else {
+    m.value &= ~b;
+  }
+  // The stuck value is visible immediately, not only on the next write.
+  cells_[addr] = applyStuck(addr, cells_[addr]);
+}
+
+void MemoryModel::setAddressFault(std::uint64_t addr, AddressFaultKind kind,
+                                  std::uint64_t alias) {
+  assert(addr < words_);
+  if (kind == AddressFaultKind::None) {
+    addrFaults_.erase(addr);
+    return;
+  }
+  addrFaults_[addr] = AddrFault{kind, alias % words_};
+}
+
+void MemoryModel::addCoupling(const CouplingFault& f) {
+  assert(f.aggressorAddr < words_ && f.victimAddr < words_);
+  assert(f.aggressorBit < dataBits_ && f.victimBit < dataBits_);
+  coupling_.push_back(f);
+}
+
+void MemoryModel::flipBit(std::uint64_t addr, std::uint32_t bit) {
+  assert(addr < words_ && bit < dataBits_);
+  cells_[addr] ^= (std::uint64_t{1} << bit);
+}
+
+void MemoryModel::clearFaults() {
+  stuck_.clear();
+  addrFaults_.clear();
+  coupling_.clear();
+}
+
+}  // namespace socfmea::sim

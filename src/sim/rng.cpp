@@ -1,0 +1,2 @@
+// Rng is header-only; this translation unit anchors the module in the build.
+#include "sim/rng.hpp"

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generator (SplitMix64) used everywhere
+// randomness is needed: workload stimulus, fault-list sampling, injection
+// timing.  Campaigns are reproducible from the seed, which the paper's
+// methodology requires for "uniquely correlating Workload, Operational
+// Profiles, Fault List, and final measures".
+#pragma once
+
+#include <cstdint>
+
+namespace socfmea::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli(p).
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  bool coin() noexcept { return (next() & 1u) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Derives an independent stream (for parallel sub-campaigns).
+  Rng fork() noexcept { return Rng(next() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace socfmea::sim

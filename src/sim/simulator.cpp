@@ -1,0 +1,274 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace socfmea::sim {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::CellType;
+using netlist::DffPins;
+using netlist::kNoNet;
+using netlist::MemoryId;
+using netlist::MemoryInst;
+using netlist::NetId;
+
+Simulator::Simulator(const netlist::Netlist& nl)
+    : nl_(nl), lev_(netlist::levelize(nl)) {
+  netVal_.assign(nl_.netCount(), Logic::LX);
+  ffState_.assign(nl_.cellCount(), Logic::LX);
+  ffPrevD_.assign(nl_.cellCount(), Logic::LX);
+  inputVal_.assign(nl_.cellCount(), Logic::L0);
+  stale_.assign(nl_.cellCount(), false);
+  mems_.reserve(nl_.memoryCount());
+  memRdataReg_.reserve(nl_.memoryCount());
+  for (const MemoryInst& m : nl_.memories()) {
+    mems_.emplace_back(m.addrBits, m.dataBits);
+    memRdataReg_.emplace_back(m.dataBits, Logic::L0);
+  }
+  reset();
+}
+
+void Simulator::reset() {
+  cycle_ = 0;
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type == CellType::Dff) {
+      ffState_[id] = fromBool(c.dffInit);
+      ffPrevD_[id] = fromBool(c.dffInit);
+    }
+  }
+  for (auto& reg : memRdataReg_) {
+    std::fill(reg.begin(), reg.end(), Logic::L0);
+  }
+  evalComb();
+}
+
+void Simulator::setInput(NetId net, Logic v) {
+  const netlist::Net& n = nl_.net(net);
+  if (n.driver == netlist::kNoCell ||
+      nl_.cell(n.driver).type != CellType::Input) {
+    throw std::invalid_argument("setInput on a non-input net");
+  }
+  inputVal_[n.driver] = v;
+  dirty_ = true;
+}
+
+void Simulator::setInput(std::string_view name, bool v) {
+  const auto id = nl_.findNet(name);
+  if (!id) throw std::invalid_argument("no such net: " + std::string(name));
+  setInput(*id, fromBool(v));
+}
+
+void Simulator::setInputBus(const netlist::Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    setInput(bus[i], fromBool((value >> i) & 1u));
+  }
+}
+
+Logic Simulator::value(std::string_view netName) const {
+  const auto id = nl_.findNet(netName);
+  if (!id) throw std::invalid_argument("no such net: " + std::string(netName));
+  return value(*id);
+}
+
+std::uint64_t Simulator::busValue(const netlist::Bus& bus) const {
+  ensureSettled();
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size() && i < 64; ++i) {
+    if (netVal_[bus[i]] == Logic::L1) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+void Simulator::writeNet(NetId net, Logic v) {
+  if (!forces_.empty()) {
+    const auto f = forces_.find(net);
+    if (f != forces_.end()) {
+      netVal_[net] = f->second;
+      return;
+    }
+  }
+  netVal_[net] = v;
+}
+
+void Simulator::settle() {
+  // Sources: inputs, FF outputs, memory read registers.
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type == CellType::Input) {
+      writeNet(c.output, inputVal_[id]);
+    } else if (c.type == CellType::Dff) {
+      writeNet(c.output, ffState_[id]);
+    }
+  }
+  for (MemoryId m = 0; m < nl_.memoryCount(); ++m) {
+    const MemoryInst& mem = nl_.memory(m);
+    for (std::size_t b = 0; b < mem.rdata.size(); ++b) {
+      writeNet(mem.rdata[b], memRdataReg_[m][b]);
+    }
+  }
+  // One levelized pass settles all combinational cells.
+  std::vector<Logic> ins;
+  for (CellId id : lev_.order) {
+    const Cell& c = nl_.cell(id);
+    ins.clear();
+    for (NetId in : c.inputs) ins.push_back(netVal_[in]);
+    writeNet(c.output, evalCell(c.type, ins));
+  }
+}
+
+void Simulator::evalComb() {
+  dirty_ = false;
+  settle();
+  if (!bridges_.empty()) {
+    // Resolve each bridge from the settled values, then force the resolved
+    // values and settle again so downstream logic observes them.
+    std::vector<std::pair<NetId, Logic>> resolved;
+    for (const Bridge& br : bridges_) {
+      const Logic va = netVal_[br.a];
+      const Logic vb = netVal_[br.b];
+      Logic r = Logic::LX;
+      switch (br.kind) {
+        case BridgeKind::WiredAnd: r = logicAnd(va, vb); break;
+        case BridgeKind::WiredOr: r = logicOr(va, vb); break;
+        case BridgeKind::DominantA: r = va; break;
+      }
+      resolved.emplace_back(br.a, br.kind == BridgeKind::DominantA ? va : r);
+      resolved.emplace_back(br.b, r);
+    }
+    // Install as temporary forces (kept under any explicit user forces).
+    std::vector<NetId> temp;
+    for (const auto& [net, v] : resolved) {
+      if (!forces_.contains(net)) {
+        forces_.emplace(net, v);
+        temp.push_back(net);
+      }
+    }
+    settle();
+    for (NetId n : temp) forces_.erase(n);
+  }
+}
+
+void Simulator::clockEdge() {
+  for (Observer& obs : observers_) obs(*this);
+
+  // Memory ports sample the settled combinational values.
+  for (MemoryId m = 0; m < nl_.memoryCount(); ++m) {
+    const MemoryInst& mem = nl_.memory(m);
+    std::uint64_t addr = 0;
+    for (std::size_t b = 0; b < mem.addr.size(); ++b) {
+      if (netVal_[mem.addr[b]] == Logic::L1) addr |= std::uint64_t{1} << b;
+    }
+    const bool we = netVal_[mem.writeEnable] == Logic::L1;
+    const bool re = mem.readEnable == kNoNet ||
+                    netVal_[mem.readEnable] == Logic::L1;
+    if (we) {
+      std::uint64_t data = 0;
+      for (std::size_t b = 0; b < mem.wdata.size(); ++b) {
+        if (netVal_[mem.wdata[b]] == Logic::L1) data |= std::uint64_t{1} << b;
+      }
+      mems_[m].write(addr, data);
+    }
+    if (re) {
+      const std::uint64_t data = mems_[m].read(addr);
+      for (std::size_t b = 0; b < mem.rdata.size(); ++b) {
+        memRdataReg_[m][b] = fromBool((data >> b) & 1u);
+      }
+    }
+  }
+
+  dirty_ = true;
+  // Flip-flop capture.
+  for (CellId id = 0; id < nl_.cellCount(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.type != CellType::Dff) continue;
+    const NetId dNet = c.inputs[DffPins::kD];
+    const NetId enNet = c.inputs[DffPins::kEn];
+    const NetId rstNet = c.inputs[DffPins::kRst];
+    const Logic d = netVal_[dNet];
+    const Logic sampled = (anyStale_ && stale_[id]) ? ffPrevD_[id] : d;
+    ffPrevD_[id] = d;
+
+    if (rstNet != kNoNet && netVal_[rstNet] == Logic::L1) {
+      ffState_[id] = fromBool(c.dffInit);
+      continue;
+    }
+    if (enNet != kNoNet) {
+      const Logic en = netVal_[enNet];
+      if (en == Logic::L0) continue;          // hold
+      if (isUnknown(en)) {                    // unknown enable poisons state
+        ffState_[id] = Logic::LX;
+        continue;
+      }
+    }
+    ffState_[id] = sampled;
+  }
+  ++cycle_;
+}
+
+void Simulator::step() {
+  evalComb();
+  clockEdge();
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+void Simulator::forceNet(NetId net, Logic v) {
+  forces_[net] = v;
+  dirty_ = true;
+}
+
+void Simulator::releaseNet(NetId net) {
+  forces_.erase(net);
+  dirty_ = true;
+}
+
+void Simulator::releaseAllNets() {
+  forces_.clear();
+  dirty_ = true;
+}
+
+void Simulator::flipFf(CellId ff) {
+  if (nl_.cell(ff).type != CellType::Dff) {
+    throw std::invalid_argument("flipFf on a non-Dff cell");
+  }
+  ffState_[ff] = logicNot(ffState_[ff]);
+  dirty_ = true;
+}
+
+void Simulator::setFfState(CellId ff, Logic v) {
+  if (nl_.cell(ff).type != CellType::Dff) {
+    throw std::invalid_argument("setFfState on a non-Dff cell");
+  }
+  ffState_[ff] = v;
+  dirty_ = true;
+}
+
+void Simulator::addBridge(NetId a, NetId b, BridgeKind kind) {
+  bridges_.push_back(Bridge{a, b, kind});
+  dirty_ = true;
+}
+
+void Simulator::clearBridges() {
+  bridges_.clear();
+  dirty_ = true;
+}
+
+void Simulator::setStaleSampling(CellId ff, bool on) {
+  if (nl_.cell(ff).type != CellType::Dff) {
+    throw std::invalid_argument("setStaleSampling on a non-Dff cell");
+  }
+  stale_[ff] = on;
+  anyStale_ = false;
+  for (bool s : stale_) anyStale_ = anyStale_ || s;
+}
+
+void Simulator::clearStaleSampling() {
+  std::fill(stale_.begin(), stale_.end(), false);
+  anyStale_ = false;
+}
+
+}  // namespace socfmea::sim

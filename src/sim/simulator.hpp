@@ -1,0 +1,139 @@
+// Cycle-accurate levelized simulator over a structural netlist, with the
+// hooks fault injection needs: net forcing (stuck-at / SET), flip-flop state
+// flips (SEU), bridging faults, and delay faults modelled as stale sampling.
+//
+// A cycle is: apply inputs -> evalComb() settles all combinational nets ->
+// clockEdge() captures flip-flops and services memory ports.  step() does
+// both and advances the cycle counter.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/logic4.hpp"
+#include "sim/memory_model.hpp"
+
+namespace socfmea::sim {
+
+/// How a bridging fault resolves the two shorted nets.
+enum class BridgeKind : std::uint8_t {
+  WiredAnd,
+  WiredOr,
+  /// Dominant bridge: net A wins, net B reads A's value.
+  DominantA,
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  [[nodiscard]] const netlist::Netlist& design() const noexcept { return nl_; }
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  /// Resets state: flip-flops to their init values, memory read registers to
+  /// 0, cycle counter to 0.  Memory contents and injected faults are kept.
+  void reset();
+
+  // ---- stimulus ------------------------------------------------------------
+
+  void setInput(netlist::NetId net, Logic v);
+  void setInput(std::string_view name, bool v);
+  /// Drives a bus of input nets from an integer (LSB first).
+  void setInputBus(const netlist::Bus& bus, std::uint64_t value);
+
+  // ---- evaluation ----------------------------------------------------------
+
+  /// Settles all combinational nets from current state/inputs.
+  void evalComb();
+  /// Captures flip-flops and memory ports from the settled net values.
+  void clockEdge();
+  /// evalComb + clockEdge + cycle++.
+  void step();
+  /// Runs `n` cycles.
+  void run(std::uint64_t n);
+
+  // ---- observation ---------------------------------------------------------
+
+  /// Settled value of a net.  If state changed since the last evalComb()
+  /// (clock edge, input change, fault hook), the combinational network is
+  /// settled transparently first.
+  [[nodiscard]] Logic value(netlist::NetId net) const {
+    ensureSettled();
+    return netVal_[net];
+  }
+  [[nodiscard]] Logic value(std::string_view netName) const;
+  /// Packs a bus into an integer; unknown bits read 0.
+  [[nodiscard]] std::uint64_t busValue(const netlist::Bus& bus) const;
+  /// Current stored state of a flip-flop.
+  [[nodiscard]] Logic ffState(netlist::CellId ff) const { return ffState_.at(ff); }
+  [[nodiscard]] MemoryModel& memory(netlist::MemoryId id) { return mems_.at(id); }
+  [[nodiscard]] const MemoryModel& memory(netlist::MemoryId id) const {
+    return mems_.at(id);
+  }
+
+  // ---- fault hooks ---------------------------------------------------------
+
+  /// Forces a net to a value during evalComb until released (stuck-at).
+  void forceNet(netlist::NetId net, Logic v);
+  void releaseNet(netlist::NetId net);
+  void releaseAllNets();
+
+  /// Inverts a flip-flop's stored state now (SEU).
+  void flipFf(netlist::CellId ff);
+  /// Overwrites a flip-flop's stored state.
+  void setFfState(netlist::CellId ff, Logic v);
+
+  /// Installs a bridging fault between two nets; resolved after every
+  /// evalComb pass with a second settle pass so downstream logic sees the
+  /// bridged values.
+  void addBridge(netlist::NetId a, netlist::NetId b, BridgeKind kind);
+  void clearBridges();
+
+  /// Delay-fault model: the flip-flop samples the previous cycle's D value.
+  void setStaleSampling(netlist::CellId ff, bool on);
+  void clearStaleSampling();
+
+  /// Per-cycle callback invoked after evalComb, before clockEdge.  Used by
+  /// monitors.
+  using Observer = std::function<void(Simulator&)>;
+  void addObserver(Observer obs) { observers_.push_back(std::move(obs)); }
+  void clearObservers() { observers_.clear(); }
+
+ private:
+  void settle();
+  void writeNet(netlist::NetId net, Logic v);
+  /// Re-settles combinational values if state changed since evalComb().
+  void ensureSettled() const {
+    if (dirty_) const_cast<Simulator*>(this)->evalComb();
+  }
+
+  const netlist::Netlist& nl_;
+  netlist::Levelization lev_;
+  std::uint64_t cycle_ = 0;
+
+  std::vector<Logic> netVal_;           // per net
+  std::vector<Logic> ffState_;          // per cell (Dff only meaningful)
+  std::vector<Logic> ffPrevD_;          // per cell, previous-cycle D value
+  std::vector<Logic> inputVal_;         // per cell (Input only meaningful)
+  std::vector<MemoryModel> mems_;       // per memory instance
+  std::vector<std::vector<Logic>> memRdataReg_;  // registered read data
+
+  std::unordered_map<netlist::NetId, Logic> forces_;
+  struct Bridge {
+    netlist::NetId a;
+    netlist::NetId b;
+    BridgeKind kind;
+  };
+  std::vector<Bridge> bridges_;
+  std::vector<bool> stale_;  // per cell
+  bool anyStale_ = false;
+  mutable bool dirty_ = true;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace socfmea::sim

@@ -1,0 +1,38 @@
+// Minimal VCD (value change dump) writer for waveform inspection of
+// simulations and injection campaigns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace socfmea::sim {
+
+/// Streams value changes of a watch list of nets to a VCD file, one sample
+/// per cycle.  Attach with sample() after each evalComb (or use the
+/// observer hook).
+class VcdTrace {
+ public:
+  VcdTrace(std::ostream& out, const Simulator& sim,
+           std::vector<netlist::NetId> watch, std::string timescale = "1ns");
+
+  /// Emits changes for the current cycle.
+  void sample();
+
+  /// Convenience: registers itself as a simulator observer.  The trace must
+  /// outlive the simulator's observer list usage.
+  static void attach(Simulator& sim, VcdTrace& trace);
+
+ private:
+  static std::string idCode(std::size_t index);
+
+  std::ostream& out_;
+  const Simulator& sim_;
+  std::vector<netlist::NetId> watch_;
+  std::vector<Logic> last_;
+  bool first_ = true;
+};
+
+}  // namespace socfmea::sim

@@ -1,0 +1,80 @@
+#include "zones/correlation.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace socfmea::zones {
+
+CorrelationMatrix::CorrelationMatrix(const ZoneDatabase& db)
+    : n_(db.size()), m_(n_ * (n_ + 1) / 2, 0), coneSize_(n_, 0) {
+  for (ZoneId z = 0; z < n_; ++z) coneSize_[z] = db.zone(z).cone.gates.size();
+  // One pass over cells: each cell contributes to every pair of zones whose
+  // cones contain it.
+  const auto& nl = db.design();
+  for (netlist::CellId c = 0; c < nl.cellCount(); ++c) {
+    if (!netlist::isCombinational(nl.cell(c).type)) continue;
+    const auto& owners = db.zonesOfCell(c);
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      for (std::size_t j = i; j < owners.size(); ++j) {
+        ++at(owners[i], owners[j]);
+      }
+    }
+  }
+}
+
+std::size_t& CorrelationMatrix::at(ZoneId a, ZoneId b) {
+  if (a > b) std::swap(a, b);
+  return m_[static_cast<std::size_t>(a) * n_ - a * (a + 1) / 2 + b];
+}
+
+std::size_t CorrelationMatrix::atC(ZoneId a, ZoneId b) const {
+  if (a > b) std::swap(a, b);
+  return m_[static_cast<std::size_t>(a) * n_ - a * (a + 1) / 2 + b];
+}
+
+std::size_t CorrelationMatrix::sharedGates(ZoneId a, ZoneId b) const {
+  return atC(a, b);
+}
+
+double CorrelationMatrix::overlap(ZoneId a, ZoneId b) const {
+  const std::size_t shared = atC(a, b);
+  const std::size_t uni = coneSize_[a] + coneSize_[b] - shared;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(shared) / static_cast<double>(uni);
+}
+
+std::vector<CorrelationMatrix::Pair> CorrelationMatrix::topPairs(
+    std::size_t minShared) const {
+  std::vector<Pair> out;
+  for (ZoneId a = 0; a < n_; ++a) {
+    for (ZoneId b = a + 1; b < n_; ++b) {
+      const std::size_t s = atC(a, b);
+      if (s >= minShared) out.push_back(Pair{a, b, s});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Pair& x, const Pair& y) { return x.shared > y.shared; });
+  return out;
+}
+
+std::vector<ZoneId> CorrelationMatrix::correlatedWith(ZoneId z) const {
+  std::vector<ZoneId> out;
+  for (ZoneId other = 0; other < n_; ++other) {
+    if (other != z && atC(z, other) > 0) out.push_back(other);
+  }
+  return out;
+}
+
+void CorrelationMatrix::print(std::ostream& out, const ZoneDatabase& db,
+                              std::size_t maxPairs) const {
+  const auto pairs = topPairs(1);
+  out << "zone correlation (top " << std::min(maxPairs, pairs.size()) << " of "
+      << pairs.size() << " correlated pairs):\n";
+  for (std::size_t i = 0; i < pairs.size() && i < maxPairs; ++i) {
+    const auto& p = pairs[i];
+    out << "  " << db.zone(p.a).name << " ~ " << db.zone(p.b).name << " : "
+        << p.shared << " shared gates (overlap " << overlap(p.a, p.b) << ")\n";
+  }
+}
+
+}  // namespace socfmea::zones

@@ -1,0 +1,51 @@
+// Zone-to-zone correlation "in terms of shared gates and nets" (paper,
+// Section 3).  A fault in a shared gate is a *wide* physical fault that can
+// fail several zones at once (Figure 2); the correlation matrix quantifies
+// how exposed each zone pair is to such multiple failures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "zones/zone.hpp"
+
+namespace socfmea::zones {
+
+class CorrelationMatrix {
+ public:
+  explicit CorrelationMatrix(const ZoneDatabase& db);
+
+  [[nodiscard]] std::size_t zoneCount() const noexcept { return n_; }
+
+  /// Number of combinational gates shared by the converging cones of the two
+  /// zones.
+  [[nodiscard]] std::size_t sharedGates(ZoneId a, ZoneId b) const;
+
+  /// Jaccard-style overlap of the two cones (0 = disjoint, 1 = identical).
+  [[nodiscard]] double overlap(ZoneId a, ZoneId b) const;
+
+  /// Pairs with at least `minShared` shared gates, sorted descending.
+  struct Pair {
+    ZoneId a;
+    ZoneId b;
+    std::size_t shared;
+  };
+  [[nodiscard]] std::vector<Pair> topPairs(std::size_t minShared = 1) const;
+
+  /// Zones correlated with `z` (nonzero sharing).
+  [[nodiscard]] std::vector<ZoneId> correlatedWith(ZoneId z) const;
+
+  void print(std::ostream& out, const ZoneDatabase& db,
+             std::size_t maxPairs = 20) const;
+
+ private:
+  [[nodiscard]] std::size_t& at(ZoneId a, ZoneId b);
+  [[nodiscard]] std::size_t atC(ZoneId a, ZoneId b) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::size_t> m_;          // upper-triangular shared-gate counts
+  std::vector<std::size_t> coneSize_;   // per-zone gate count
+};
+
+}  // namespace socfmea::zones

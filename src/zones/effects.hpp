@@ -1,0 +1,81 @@
+// Observation points and the main/secondary effect model (paper, Section 3
+// and Figure 3).  An observation point is another sensible zone, a primary
+// output (most cases), or an alarm of the diagnostic.  The *main effect* of a
+// zone failure is the effect that at least will occur at an observation
+// point if not masked internally; *secondary effects* occur at other
+// observation points reached through the zone's output logic cone and from
+// there through other zones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zones/zone.hpp"
+
+namespace socfmea::zones {
+
+using ObsId = std::uint32_t;
+
+enum class ObsKind : std::uint8_t {
+  PrimaryOutput,
+  Zone,   ///< another sensible zone used as observation point
+  Alarm,  ///< diagnostic alarm output
+};
+
+struct ObservationPoint {
+  ObsId id = 0;
+  ObsKind kind = ObsKind::PrimaryOutput;
+  std::string name;
+  std::vector<netlist::NetId> nets;  ///< nets sampled by the monitor
+  ZoneId zone = kNoZone;             ///< backing zone for ObsKind::Zone
+};
+
+/// How an effect at an observation point relates to the failing zone.
+enum class EffectClass : std::uint8_t {
+  Main,       ///< reached through pure combinational logic (same cycle)
+  Secondary,  ///< reached only through other registers (later cycles)
+  None,       ///< not reachable at all
+};
+
+/// Static (structural) effect prediction for every zone, used to pre-fill
+/// the FMEA and later cross-checked against the fault-injection effects
+/// table (validation step a).
+class EffectsModel {
+ public:
+  /// `alarmNames` are primary-output names to classify as diagnostic alarms.
+  EffectsModel(const ZoneDatabase& db, std::vector<std::string> alarmNames,
+               bool zonesAsObservationPoints = false);
+
+  [[nodiscard]] const std::vector<ObservationPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t pointCount() const noexcept { return points_.size(); }
+  [[nodiscard]] const ObservationPoint& point(ObsId id) const {
+    return points_.at(id);
+  }
+  [[nodiscard]] std::vector<ObsId> alarmPoints() const;
+  [[nodiscard]] std::vector<ObsId> functionalPoints() const;  ///< non-alarm
+
+  /// Predicted effect class of a failure of `zone` at each observation
+  /// point (indexed by ObsId).
+  [[nodiscard]] const std::vector<EffectClass>& effectsOf(ZoneId zone) const;
+
+  /// Predicted main-effect observation points of a zone (possibly several —
+  /// any of them may show the failure first).
+  [[nodiscard]] std::vector<ObsId> mainEffects(ZoneId zone) const;
+  [[nodiscard]] std::vector<ObsId> secondaryEffects(ZoneId zone) const;
+
+  /// True if a failure of `zone` can reach at least one alarm — a structural
+  /// precondition for claiming diagnostic coverage on it.
+  [[nodiscard]] bool alarmReachable(ZoneId zone) const;
+
+ private:
+  void computeReach(const ZoneDatabase& db);
+
+  const ZoneDatabase* db_;
+  std::vector<ObservationPoint> points_;
+  std::vector<std::vector<EffectClass>> reach_;  // [zone][obs]
+};
+
+}  // namespace socfmea::zones

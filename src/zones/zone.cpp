@@ -1,0 +1,103 @@
+#include "zones/zone.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace socfmea::zones {
+
+std::string_view zoneKindName(ZoneKind k) noexcept {
+  switch (k) {
+    case ZoneKind::Register: return "register";
+    case ZoneKind::PrimaryInput: return "primary-input";
+    case ZoneKind::PrimaryOutput: return "primary-output";
+    case ZoneKind::CriticalNet: return "critical-net";
+    case ZoneKind::SubBlock: return "sub-block";
+    case ZoneKind::Memory: return "memory";
+    case ZoneKind::LogicalEntity: return "logical-entity";
+  }
+  return "?";
+}
+
+std::string_view faultScopeName(FaultScope s) noexcept {
+  switch (s) {
+    case FaultScope::Local: return "local";
+    case FaultScope::Wide: return "wide";
+    case FaultScope::Global: return "global";
+    case FaultScope::Unassigned: return "unassigned";
+  }
+  return "?";
+}
+
+ZoneDatabase::ZoneDatabase(const netlist::Netlist& nl) : nl_(&nl) {}
+
+std::optional<ZoneId> ZoneDatabase::findZone(std::string_view name) const {
+  for (const SensibleZone& z : zones_) {
+    if (z.name == name) return z.id;
+  }
+  return std::nullopt;
+}
+
+ZoneId ZoneDatabase::addZone(SensibleZone z) {
+  z.id = static_cast<ZoneId>(zones_.size());
+  z.stats.gateCount = z.cone.gates.size();
+  z.stats.netCount = z.cone.nets.size();
+  z.stats.supportFfs = z.cone.supportFfs.size();
+  z.stats.supportPis = z.cone.supportPis.size();
+  z.stats.supportMems = z.cone.supportMems.size();
+  zones_.push_back(std::move(z));
+  return zones_.back().id;
+}
+
+void ZoneDatabase::buildIndices() {
+  coneMembership_.assign(nl_->cellCount(), {});
+  ffOwner_.assign(nl_->cellCount(), kNoZone);
+  for (const SensibleZone& z : zones_) {
+    for (netlist::CellId g : z.cone.gates) {
+      auto& v = coneMembership_[g];
+      if (v.empty() || v.back() != z.id) v.push_back(z.id);
+    }
+    for (netlist::CellId ff : z.ffs) {
+      if (ffOwner_[ff] == kNoZone) ffOwner_[ff] = z.id;
+    }
+  }
+}
+
+const std::vector<ZoneId>& ZoneDatabase::zonesOfCell(netlist::CellId c) const {
+  if (coneMembership_.empty()) {
+    throw std::logic_error("ZoneDatabase::buildIndices() not called");
+  }
+  return coneMembership_.at(c);
+}
+
+ZoneId ZoneDatabase::zoneOfFf(netlist::CellId ff) const {
+  if (ffOwner_.empty()) {
+    throw std::logic_error("ZoneDatabase::buildIndices() not called");
+  }
+  return ffOwner_.at(ff);
+}
+
+FaultScope ZoneDatabase::classifySite(netlist::CellId c,
+                                      double globalFraction) const {
+  const auto& owners = zonesOfCell(c);
+  if (owners.empty()) return FaultScope::Unassigned;
+  if (owners.size() == 1) return FaultScope::Local;
+  const double frac = static_cast<double>(owners.size()) /
+                      static_cast<double>(std::max<std::size_t>(zones_.size(), 1));
+  return frac >= globalFraction ? FaultScope::Global : FaultScope::Wide;
+}
+
+ZoneDatabase::ScopeCensus ZoneDatabase::census(double globalFraction) const {
+  ScopeCensus out;
+  for (netlist::CellId c = 0; c < nl_->cellCount(); ++c) {
+    if (!netlist::isCombinational(nl_->cell(c).type)) continue;
+    switch (classifySite(c, globalFraction)) {
+      case FaultScope::Local: ++out.local; break;
+      case FaultScope::Wide: ++out.wide; break;
+      case FaultScope::Global: ++out.global; break;
+      case FaultScope::Unassigned: ++out.unassigned; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace socfmea::zones

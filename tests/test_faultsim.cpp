@@ -1,0 +1,278 @@
+// Tests for the fault-simulation engines: toggle coverage with structural
+// constant screening, the serial engine, the 64-lane parallel engine, and
+// the serial-vs-parallel agreement property.
+#include <gtest/gtest.h>
+
+#include "fault/collapse.hpp"
+#include "fault/fault_list.hpp"
+#include "faultsim/parallel.hpp"
+#include "faultsim/serial.hpp"
+#include "faultsim/toggle.hpp"
+#include "inject/workload.hpp"
+#include "netlist/builder.hpp"
+
+namespace nl = socfmea::netlist;
+namespace fs = socfmea::faultsim;
+namespace ft = socfmea::fault;
+namespace ij = socfmea::inject;
+namespace sm = socfmea::sim;
+
+namespace {
+
+// A small pipelined datapath: two input buses, an adder, a register, a
+// parity output and a sum output — enough structure for detection tests.
+struct DataPath {
+  nl::Netlist n{"dp"};
+  nl::NetId rst;
+  nl::Bus a, b, q;
+
+  DataPath() {
+    nl::Builder bl(n);
+    rst = bl.input("rst");
+    a = bl.inputBus("a", 8);
+    b = bl.inputBus("b", 8);
+    const auto sum = bl.adder(a, b);
+    q = bl.registerBus("r", sum, nl::kNoNet, rst, 0);
+    bl.outputBus("sum", q);
+    bl.output("par", bl.reduceXor(q));
+    n.check();
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// structural constants
+// ---------------------------------------------------------------------------
+
+TEST(ConstNetTest, ConstCellsAndDownstream) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.input("a");
+  const auto c0 = b.constNet(false);
+  const auto dead = b.band(a, c0);       // pinned to 0
+  const auto live = b.bor(a, c0);        // follows a
+  b.output("o1", dead);
+  b.output("o2", live);
+  const auto constant = fs::structurallyConstantNets(n);
+  EXPECT_TRUE(constant[c0]);
+  EXPECT_TRUE(constant[dead]);
+  EXPECT_FALSE(constant[live]);
+  EXPECT_FALSE(constant[a]);
+}
+
+TEST(ConstNetTest, SelfLoopConfigRegisterIsConstant) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto rst = b.input("rst");
+  const auto q = n.addNet("cfg_q");
+  n.addDff("cfg", q, q, nl::kNoNet, rst, true);  // d == q, init 1
+  const auto used = b.bnot(q);
+  b.output("o", used);
+  const auto constant = fs::structurallyConstantNets(n);
+  EXPECT_TRUE(constant[q]);
+  EXPECT_TRUE(constant[used]);
+}
+
+TEST(ConstNetTest, RealRegisterIsNotConstant) {
+  DataPath d;
+  const auto constant = fs::structurallyConstantNets(d.n);
+  for (nl::NetId qn : d.q) EXPECT_FALSE(constant[qn]);
+}
+
+TEST(ConstNetTest, MuxWithEqualConstLegs) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto s = b.input("s");
+  const auto one1 = b.constNet(true);
+  const auto one2 = b.constNet(true);
+  const auto m = b.bmux(s, one1, one2);
+  b.output("o", m);
+  const auto constant = fs::structurallyConstantNets(n);
+  EXPECT_TRUE(constant[m]);
+}
+
+// ---------------------------------------------------------------------------
+// toggle coverage
+// ---------------------------------------------------------------------------
+
+TEST(ToggleTest, RandomStimulusTogglesDataPath) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 200, 42, {{d.rst, false}});
+  const auto tc = fs::measureToggle(d.n, wl);
+  EXPECT_GT(tc.nets, 0u);
+  // Everything except the pinned reset (and its dependents, e.g. the final
+  // carry-out chain) toggles under random stimulus.
+  EXPECT_GT(tc.onceFraction(), 0.97);
+  EXPECT_LE(tc.untoggled.size(), 3u);
+  EXPECT_GT(tc.bothFraction(), 0.9);
+}
+
+TEST(ToggleTest, HeldInputsReportedUntoggled) {
+  DataPath d;
+  // Drive only bus `a`; bus `b` stays at 0 -> its nets never toggle.
+  ij::FunctionWorkload wl("partial", 100, [&](sm::Simulator& sim, std::uint64_t c) {
+    sim.setInput(d.rst, sm::Logic::L0);
+    sim.setInputBus(d.a, c * 37);
+    sim.setInputBus(d.b, 0);
+  });
+  const auto tc = fs::measureToggle(d.n, wl);
+  EXPECT_FALSE(tc.passes(0.99));
+  EXPECT_GE(tc.untoggled.size(), 8u);  // at least the b inputs
+}
+
+// ---------------------------------------------------------------------------
+// serial fault simulation
+// ---------------------------------------------------------------------------
+
+TEST(SerialFaultSimTest, DetectsObservableStuckAt) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 100, 7, {{d.rst, false}});
+  ft::FaultList faults;
+  ft::Fault f;
+  f.kind = ft::FaultKind::StuckAt1;
+  f.net = d.q[0];  // register output: directly observable at `sum`
+  faults.push_back(f);
+  const auto res = fs::runSerialFaultSim(d.n, wl, faults);
+  EXPECT_EQ(res.detected, 1u);
+  EXPECT_DOUBLE_EQ(res.coverage(), 1.0);
+}
+
+TEST(SerialFaultSimTest, UndetectableFaultStaysUndetected) {
+  // A stuck-at matching the forced input value never differs from golden.
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.input("a");
+  const auto c1 = b.constNet(true);
+  const auto y = b.bor(a, c1);  // y is always 1
+  b.output("o", y);
+  ij::RandomWorkload wl(n, 50, 3);
+  ft::FaultList faults;
+  ft::Fault f;
+  f.kind = ft::FaultKind::StuckAt1;
+  f.net = y;
+  faults.push_back(f);
+  const auto res = fs::runSerialFaultSim(n, wl, faults);
+  EXPECT_EQ(res.detected, 0u);
+}
+
+TEST(SerialFaultSimTest, ObservedOutputsRestrictDetection) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 100, 7, {{d.rst, false}});
+  ft::FaultList faults;
+  ft::Fault f;
+  f.kind = ft::FaultKind::StuckAt1;
+  f.net = d.q[0];
+  faults.push_back(f);
+  // Observe only the parity output: a q0 flip changes parity -> detected.
+  fs::FaultSimOptions opt;
+  for (nl::CellId po : d.n.primaryOutputs()) {
+    if (d.n.cell(po).name == "par") opt.observedOutputs.push_back(po);
+  }
+  ASSERT_EQ(opt.observedOutputs.size(), 1u);
+  const auto res = fs::runSerialFaultSim(d.n, wl, faults, opt);
+  EXPECT_EQ(res.detected, 1u);
+}
+
+TEST(SerialFaultSimTest, EarlyAbortReducesCycles) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 200, 7, {{d.rst, false}});
+  ft::FaultList faults = ft::allStuckAtFaults(d.n);
+  fs::FaultSimOptions fast;
+  fast.earlyAbort = true;
+  fs::FaultSimOptions full;
+  full.earlyAbort = false;
+  const auto r1 = fs::runSerialFaultSim(d.n, wl, faults, fast);
+  const auto r2 = fs::runSerialFaultSim(d.n, wl, faults, full);
+  EXPECT_EQ(r1.detected, r2.detected);  // same verdicts
+  EXPECT_LT(r1.simulatedCycles, r2.simulatedCycles);
+}
+
+// ---------------------------------------------------------------------------
+// parallel engine
+// ---------------------------------------------------------------------------
+
+TEST(BitSimTest, MatchesScalarSimulator) {
+  DataPath d;
+  fs::BitSim bs(d.n);
+  sm::Simulator ref(d.n);
+  sm::Rng rng(13);
+  ref.setInput(d.rst, sm::Logic::L0);
+  bs.setInputAll(d.rst, false);
+  for (int c = 0; c < 30; ++c) {
+    const std::uint64_t va = rng.below(256);
+    const std::uint64_t vb = rng.below(256);
+    ref.setInputBus(d.a, va);
+    ref.setInputBus(d.b, vb);
+    for (int i = 0; i < 8; ++i) {
+      bs.setInputAll(d.a[i], (va >> i) & 1);
+      bs.setInputAll(d.b[i], (vb >> i) & 1);
+    }
+    ref.evalComb();
+    bs.evalComb();
+    for (nl::NetId qn : d.q) {
+      const bool scalar = ref.value(qn) == sm::Logic::L1;
+      const bool lane0 = bs.netWord(qn) & 1u;
+      EXPECT_EQ(scalar, lane0) << "cycle " << c;
+    }
+    ref.clockEdge();
+    bs.clockEdge();
+  }
+}
+
+TEST(BitSimTest, RejectsMemories) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.input("a");
+  const auto din = b.input("d");
+  const auto we = b.input("we");
+  const auto r = n.addNet("r");
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 1;
+  m.dataBits = 1;
+  m.addr = {a};
+  m.wdata = {din};
+  m.rdata = {r};
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  b.output("o", r);
+  EXPECT_THROW(fs::BitSim bs(n), std::invalid_argument);
+}
+
+TEST(ParallelFaultSimTest, RejectsNonStuckFaults) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 20, 1, {{d.rst, false}});
+  const auto stim = fs::recordStimulus(d.n, wl);
+  ft::FaultList faults;
+  ft::Fault f;
+  f.kind = ft::FaultKind::SeuFlip;
+  f.cell = d.n.flipFlops().front();
+  faults.push_back(f);
+  EXPECT_THROW((void)fs::runParallelFaultSim(d.n, stim, faults),
+               std::invalid_argument);
+}
+
+// The headline property: parallel and serial engines agree on every fault.
+class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, SerialAndParallelVerdictsMatch) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 120, GetParam(), {{d.rst, false}});
+  ft::FaultList faults = ft::allStuckAtFaults(d.n);
+  ft::collapseStuckAt(d.n, faults);
+
+  const auto serial = fs::runSerialFaultSim(d.n, wl, faults);
+  const auto stim = fs::recordStimulus(d.n, wl);
+  const auto parallel = fs::runParallelFaultSim(d.n, stim, faults);
+
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i], parallel.outcomes[i])
+        << faults[i].describe(d.n);
+  }
+  EXPECT_EQ(serial.detected, parallel.detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Values(1, 2, 3, 17, 99));

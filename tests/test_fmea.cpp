@@ -1,0 +1,507 @@
+// Tests for the FMEA layer: the IEC 61508 SIL tables, the technique
+// catalogue, failure-mode catalogue, FIT model, the sheet computation, the
+// ranking, and the sensitivity spans.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fmea/report.hpp"
+#include "fmea/sensitivity.hpp"
+#include "fmea/sheet.hpp"
+#include "netlist/builder.hpp"
+#include "zones/extract.hpp"
+
+namespace fm = socfmea::fmea;
+namespace nl = socfmea::netlist;
+namespace zn = socfmea::zones;
+
+// ---------------------------------------------------------------------------
+// IEC 61508 tables
+// ---------------------------------------------------------------------------
+
+TEST(Iec61508Test, MetricsFormulas) {
+  fm::Lambdas l;
+  l.safe = 60;
+  l.dangerousDetected = 30;
+  l.dangerousUndetected = 10;
+  EXPECT_DOUBLE_EQ(fm::diagnosticCoverage(l), 0.75);
+  EXPECT_DOUBLE_EQ(fm::safeFailureFraction(l), 0.90);
+  EXPECT_DOUBLE_EQ(l.dangerous(), 40.0);
+  EXPECT_DOUBLE_EQ(l.total(), 100.0);
+}
+
+TEST(Iec61508Test, DegenerateLambdas) {
+  fm::Lambdas zero;
+  EXPECT_DOUBLE_EQ(fm::diagnosticCoverage(zero), 0.0);
+  EXPECT_DOUBLE_EQ(fm::safeFailureFraction(zero), 1.0);
+}
+
+// The paper's headline rows of the type-B table.
+TEST(Iec61508Test, PaperQuotedThresholds) {
+  using fm::ElementType;
+  using fm::Sil;
+  // "With a HFT equal to zero, a SFF equal or greater than 99% is required
+  //  in order that the system or component can be granted with SIL3."
+  EXPECT_EQ(fm::silFromSff(0.99, 0, ElementType::TypeB), Sil::Sil3);
+  EXPECT_EQ(fm::silFromSff(0.989, 0, ElementType::TypeB), Sil::Sil2);
+  // "With a HFT equal to one, the SFF should be greater than 90%."
+  EXPECT_EQ(fm::silFromSff(0.92, 1, ElementType::TypeB), Sil::Sil3);
+  EXPECT_EQ(fm::silFromSff(0.89, 1, ElementType::TypeB), Sil::Sil2);
+}
+
+// Full sweep of the architectural-constraints tables.
+struct SilCase {
+  double sff;
+  unsigned hft;
+  fm::ElementType type;
+  fm::Sil expect;
+};
+
+class SilTable : public ::testing::TestWithParam<SilCase> {};
+
+TEST_P(SilTable, MatchesNorm) {
+  const auto& c = GetParam();
+  EXPECT_EQ(fm::silFromSff(c.sff, c.hft, c.type), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypeB, SilTable,
+    ::testing::Values(
+        SilCase{0.50, 0, fm::ElementType::TypeB, fm::Sil::NotAllowed},
+        SilCase{0.50, 1, fm::ElementType::TypeB, fm::Sil::Sil1},
+        SilCase{0.50, 2, fm::ElementType::TypeB, fm::Sil::Sil2},
+        SilCase{0.70, 0, fm::ElementType::TypeB, fm::Sil::Sil1},
+        SilCase{0.70, 1, fm::ElementType::TypeB, fm::Sil::Sil2},
+        SilCase{0.95, 0, fm::ElementType::TypeB, fm::Sil::Sil2},
+        SilCase{0.95, 2, fm::ElementType::TypeB, fm::Sil::Sil4},
+        SilCase{0.999, 1, fm::ElementType::TypeB, fm::Sil::Sil4},
+        SilCase{0.999, 2, fm::ElementType::TypeB, fm::Sil::Sil4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    TypeA, SilTable,
+    ::testing::Values(
+        SilCase{0.50, 0, fm::ElementType::TypeA, fm::Sil::Sil1},
+        SilCase{0.70, 0, fm::ElementType::TypeA, fm::Sil::Sil2},
+        SilCase{0.95, 0, fm::ElementType::TypeA, fm::Sil::Sil3},
+        SilCase{0.999, 0, fm::ElementType::TypeA, fm::Sil::Sil3},
+        SilCase{0.70, 1, fm::ElementType::TypeA, fm::Sil::Sil3},
+        SilCase{0.95, 1, fm::ElementType::TypeA, fm::Sil::Sil4}));
+
+TEST(Iec61508Test, RequiredSffInvertsTheTable) {
+  EXPECT_DOUBLE_EQ(fm::requiredSff(fm::Sil::Sil3, 0, fm::ElementType::TypeB),
+                   0.99);
+  EXPECT_DOUBLE_EQ(fm::requiredSff(fm::Sil::Sil3, 1, fm::ElementType::TypeB),
+                   0.90);
+  EXPECT_DOUBLE_EQ(fm::requiredSff(fm::Sil::Sil1, 0, fm::ElementType::TypeB),
+                   0.60);
+  // SIL4 at HFT 0 type B is unreachable at any SFF.
+  EXPECT_GT(fm::requiredSff(fm::Sil::Sil4, 0, fm::ElementType::TypeB), 1.0);
+}
+
+TEST(Iec61508Test, DcLevels) {
+  EXPECT_DOUBLE_EQ(fm::dcLevelValue(fm::DcLevel::Low), 0.60);
+  EXPECT_DOUBLE_EQ(fm::dcLevelValue(fm::DcLevel::Medium), 0.90);
+  EXPECT_DOUBLE_EQ(fm::dcLevelValue(fm::DcLevel::High), 0.99);
+  EXPECT_DOUBLE_EQ(fm::dcLevelValue(fm::DcLevel::None), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// technique catalogue
+// ---------------------------------------------------------------------------
+
+TEST(TechniqueTest, CatalogueNonEmptyAndUnique) {
+  const auto& cat = fm::techniqueCatalogue();
+  EXPECT_GE(cat.size(), 30u);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    for (std::size_t j = i + 1; j < cat.size(); ++j) {
+      EXPECT_NE(cat[i].key, cat[j].key);
+    }
+  }
+}
+
+TEST(TechniqueTest, PaperQuotedTechniques) {
+  // "RAM monitoring with Hamming code or ECCs or double RAMs with
+  //  hardware/software comparison are the ones with the highest value."
+  EXPECT_EQ(fm::findTechnique("ram-ecc")->maxDc, fm::DcLevel::High);
+  EXPECT_EQ(fm::findTechnique("ram-double-compare")->maxDc, fm::DcLevel::High);
+  EXPECT_EQ(fm::findTechnique("ram-parity")->maxDc, fm::DcLevel::Low);
+}
+
+TEST(TechniqueTest, LookupAndCaps) {
+  EXPECT_FALSE(fm::findTechnique("no-such-technique").has_value());
+  EXPECT_DOUBLE_EQ(fm::maxDcFor("ram-ecc"), 0.99);
+  EXPECT_DOUBLE_EQ(fm::maxDcFor("bus-parity"), 0.60);
+  EXPECT_DOUBLE_EQ(fm::maxDcFor("bogus"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// failure modes
+// ---------------------------------------------------------------------------
+
+TEST(FailureModeTest, WeightsSumToOnePerPersistence) {
+  for (int c = 0; c <= static_cast<int>(fm::ComponentClass::PowerSupply); ++c) {
+    const auto cls = static_cast<fm::ComponentClass>(c);
+    double perm = 0.0;
+    double trans = 0.0;
+    for (const auto& m : fm::failureModesFor(cls)) {
+      if (m.persistence == fm::Persistence::Transient) {
+        trans += m.weight;
+      } else {
+        perm += m.weight;
+      }
+    }
+    EXPECT_NEAR(perm, 1.0, 1e-9) << fm::componentClassName(cls);
+    EXPECT_NEAR(trans, 1.0, 1e-9) << fm::componentClassName(cls);
+  }
+}
+
+TEST(FailureModeTest, PaperQuotedMemoryModes) {
+  // IEC: "DC fault model for data and addresses; dynamic cross-over for
+  // memory cells; no, wrong or multiple addressing; change of information
+  // caused by soft-errors."
+  const auto& modes = fm::failureModesFor(fm::ComponentClass::VariableMemory);
+  const auto has = [&](std::string_view key) {
+    return std::any_of(modes.begin(), modes.end(),
+                       [&](const auto& m) { return m.key == key; });
+  };
+  EXPECT_TRUE(has("mem-dc-data"));
+  EXPECT_TRUE(has("mem-dc-addr"));
+  EXPECT_TRUE(has("mem-crossover"));
+  EXPECT_TRUE(has("mem-addressing"));
+  EXPECT_TRUE(has("mem-soft-error"));
+}
+
+TEST(FailureModeTest, DefaultClassPerZoneKind) {
+  EXPECT_EQ(fm::defaultComponentClass(zn::ZoneKind::Memory),
+            fm::ComponentClass::VariableMemory);
+  EXPECT_EQ(fm::defaultComponentClass(zn::ZoneKind::CriticalNet),
+            fm::ComponentClass::ClockReset);
+  EXPECT_EQ(fm::defaultComponentClass(zn::ZoneKind::PrimaryInput),
+            fm::ComponentClass::IoPorts);
+  EXPECT_EQ(fm::defaultComponentClass(zn::ZoneKind::Register),
+            fm::ComponentClass::Logic);
+}
+
+// ---------------------------------------------------------------------------
+// FIT model + sheet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SheetFixture {
+  nl::Netlist n{"sf"};
+  zn::ZoneDatabase db;
+
+  SheetFixture() : db(makeDb()) {}
+
+  zn::ZoneDatabase makeDb() {
+    nl::Builder b(n);
+    const auto rst = b.input("rst");
+    const auto din = b.inputBus("d", 8);
+    const auto q = b.registerBus("u_r/data", din, nl::kNoNet, rst, 0);
+    const auto red = b.reduceXor(q);
+    b.output("out", red);
+    b.output("alarm_x", b.bnot(red));
+    n.check();
+    return zn::extractZones(n);
+  }
+};
+
+}  // namespace
+
+TEST(FitModelTest, ScalingIsLinear) {
+  const fm::FitModel base;
+  const auto scaled = base.scaled(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(scaled.gatePermanent, base.gatePermanent * 2.0);
+  EXPECT_DOUBLE_EQ(scaled.ffTransient, base.ffTransient * 0.5);
+  EXPECT_DOUBLE_EQ(scaled.memBitPermanent, base.memBitPermanent * 2.0);
+}
+
+TEST(FitModelTest, ZoneFitGrowsWithCone) {
+  SheetFixture f;
+  const fm::FitModel fit;
+  const auto reg = f.db.findZone("u_r/data");
+  ASSERT_TRUE(reg.has_value());
+  const auto zf = fm::zoneFit(fit, f.db.zone(*reg), f.n);
+  EXPECT_GT(zf.permanent, 0.0);
+  EXPECT_GT(zf.transient, 0.0);
+  // 8 flip-flops dominate the transient rate.
+  EXPECT_NEAR(zf.transient, 8 * fit.ffTransient, 8 * fit.gateTransient + 1e-9);
+}
+
+TEST(SheetTest, PopulateCreatesRowsPerMode) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  EXPECT_GT(sheet.rows().size(), f.db.size());  // several modes per zone
+  for (const auto& r : sheet.rows()) {
+    EXPECT_GT(r.lambda, 0.0);
+  }
+}
+
+TEST(SheetTest, HandComputedRow) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zone = 0;
+  row.zoneName = "z";
+  row.failureMode = "logic-stuck";
+  row.persistence = fm::Persistence::Permanent;
+  row.lambda = 100.0;
+  row.safe.architectural = 0.25;
+  row.claims.push_back(fm::DiagnosticClaim{"ram-ecc", 0.80});
+  sheet.addRow(row);
+  sheet.compute();
+  const auto& r = sheet.rows()[0];
+  // λD = 100 * (1-0.25) = 75; DDF = 0.80; λDD = 60; λDU = 15; λS = 25.
+  EXPECT_DOUBLE_EQ(r.lambdaS, 25.0);
+  EXPECT_DOUBLE_EQ(r.lambdaDD, 60.0);
+  EXPECT_DOUBLE_EQ(r.lambdaDU, 15.0);
+  EXPECT_DOUBLE_EQ(sheet.dc(), 0.80);
+  EXPECT_DOUBLE_EQ(sheet.sff(), 0.85);
+}
+
+TEST(SheetTest, ClaimsCappedAtTechniqueMax) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-stuck";
+  row.persistence = fm::Persistence::Permanent;
+  row.lambda = 10.0;
+  // bus-parity is "low": capped at 0.60 no matter the claim.
+  row.claims.push_back(fm::DiagnosticClaim{"bus-parity", 0.99});
+  sheet.addRow(row);
+  sheet.compute();
+  EXPECT_DOUBLE_EQ(sheet.rows()[0].ddf, 0.60);
+}
+
+TEST(SheetTest, PermanentOnlyTechniqueIgnoresTransientRows) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-seu";
+  row.persistence = fm::Persistence::Transient;
+  row.lambda = 10.0;
+  row.lifetimeFraction = 1.0;
+  // March tests detect only permanent faults.
+  row.claims.push_back(fm::DiagnosticClaim{"ram-test-march", 0.90});
+  sheet.addRow(row);
+  sheet.compute();
+  EXPECT_DOUBLE_EQ(sheet.rows()[0].ddf, 0.0);
+}
+
+TEST(SheetTest, ClaimsComposeIndependently) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-stuck";
+  row.persistence = fm::Persistence::Permanent;
+  row.lambda = 10.0;
+  row.claims.push_back(fm::DiagnosticClaim{"ram-ecc", 0.90});
+  row.claims.push_back(fm::DiagnosticClaim{"cpu-comparator", 0.50});
+  sheet.addRow(row);
+  sheet.compute();
+  EXPECT_NEAR(sheet.rows()[0].ddf, 1.0 - 0.1 * 0.5, 1e-12);
+}
+
+TEST(SheetTest, TransientExposureDeratesDangerous) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-seu";
+  row.persistence = fm::Persistence::Transient;
+  row.lambda = 100.0;
+  row.safe.architectural = 0.0;
+  row.freq = fm::FreqClass::Continuous;  // factor 1.0
+  row.lifetimeFraction = 0.25;
+  sheet.addRow(row);
+  sheet.compute();
+  EXPECT_DOUBLE_EQ(sheet.rows()[0].lambdaD(), 25.0);
+  EXPECT_DOUBLE_EQ(sheet.rows()[0].lambdaS, 75.0);
+}
+
+TEST(SheetTest, HwSwDdfSplit) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-stuck";
+  row.persistence = fm::Persistence::Permanent;
+  row.lambda = 10.0;
+  row.claims.push_back(fm::DiagnosticClaim{"ram-ecc", 0.90});         // HW
+  row.claims.push_back(fm::DiagnosticClaim{"cpu-self-test-sw", 0.50}); // SW
+  sheet.addRow(row);
+  sheet.compute();
+  const auto& r = sheet.rows()[0];
+  EXPECT_NEAR(r.ddfHw, 0.90, 1e-12);
+  EXPECT_NEAR(r.ddfSw, r.ddf - 0.90, 1e-12);
+}
+
+TEST(SheetTest, RankingOrderedByDu) {
+  fm::FmeaSheet sheet;
+  for (int i = 0; i < 3; ++i) {
+    fm::FmeaRow row;
+    row.zone = static_cast<zn::ZoneId>(i);
+    row.zoneName = "z" + std::to_string(i);
+    row.failureMode = "m";
+    row.persistence = fm::Persistence::Permanent;
+    row.lambda = 10.0 * (i + 1);
+    sheet.addRow(row);
+  }
+  sheet.compute();
+  const auto rank = sheet.ranking();
+  ASSERT_EQ(rank.size(), 3u);
+  EXPECT_EQ(rank[0].name, "z2");
+  EXPECT_EQ(rank[2].name, "z0");
+  double shares = 0.0;
+  for (const auto& e : rank) shares += e.share;
+  EXPECT_NEAR(shares, 1.0, 1e-9);
+  EXPECT_EQ(sheet.ranking(2).size(), 2u);
+}
+
+TEST(SheetTest, PatternEditingCountsRows) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  const auto claimed =
+      sheet.addClaim("u_r/data", "", fm::DiagnosticClaim{"ram-ecc", 0.9});
+  EXPECT_GT(claimed, 0u);
+  EXPECT_EQ(sheet.addClaim("nonexistent-zone", "", {}), 0u);
+  const auto sd = sheet.setSafeFactors("u_r", fm::SdFactors{0.5, 0.0});
+  EXPECT_EQ(sd, claimed);
+  EXPECT_GT(sheet.setFrequency("", fm::FreqClass::Low, 0.2),
+            sheet.rows().size() - 1);
+}
+
+TEST(SheetTest, ReclassifyRebuildsRows) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  const auto before = sheet.rows().size();
+  const auto n = sheet.reclassifyZones(f.db, fm::FitModel{}, "u_r/data",
+                                       fm::ComponentClass::ProcessingUnit);
+  EXPECT_EQ(n, 1u);
+  bool found = false;
+  for (const auto& r : sheet.rows()) {
+    if (r.zoneName == "u_r/data") {
+      EXPECT_EQ(r.component, fm::ComponentClass::ProcessingUnit);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  (void)before;
+}
+
+TEST(SheetTest, ZoneTotalsSliceTheSheet) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  sheet.compute();
+  fm::Lambdas sum;
+  for (const auto& z : f.db.zones()) sum += sheet.zoneTotals(z.id);
+  EXPECT_NEAR(sum.total(), sheet.totals().total(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// sensitivity
+// ---------------------------------------------------------------------------
+
+TEST(SensitivityTest, RunsAllStandardSpans) {
+  SheetFixture f;
+  const auto factory = [&](const fm::FitModel& fit) {
+    fm::FmeaSheet sheet;
+    sheet.populateFromZones(f.db, fit);
+    sheet.addClaim("u_r/data", "", fm::DiagnosticClaim{"ram-ecc", 0.9});
+    return sheet;
+  };
+  fm::SensitivityAnalyzer analyzer(factory, fm::FitModel{});
+  const auto res = analyzer.run();
+  EXPECT_EQ(res.scenarios.size(), 11u);
+  EXPECT_GT(res.baselineSff, 0.0);
+  EXPECT_LE(res.minSff(), res.baselineSff);
+  EXPECT_GE(res.maxSff(), res.baselineSff);
+  // Derating every DDF claim can only hurt.
+  for (const auto& s : res.scenarios) {
+    if (s.name == "DDF derated to 90%") {
+      EXPECT_LE(s.sff, res.baselineSff + 1e-12);
+    }
+  }
+}
+
+TEST(SensitivityTest, StabilityVerdict) {
+  fm::SensitivityResult res;
+  res.baselineSff = 0.99;
+  res.scenarios.push_back({"a", 0.988, 0.9, -0.002});
+  res.scenarios.push_back({"b", 0.993, 0.9, +0.003});
+  EXPECT_TRUE(res.stable(0.01, 0.985));
+  EXPECT_FALSE(res.stable(0.001));
+  EXPECT_FALSE(res.stable(0.01, 0.99));  // floor above the min
+}
+
+// ---------------------------------------------------------------------------
+// reports
+// ---------------------------------------------------------------------------
+
+TEST(ReportTest, PrintersProduceOutput) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  sheet.compute();
+  std::ostringstream out;
+  fm::printSummary(out, sheet);
+  fm::printSheet(out, sheet, 5);
+  fm::printRanking(out, sheet, 3);
+  fm::printSilTable(out);
+  fm::printTechniqueTable(out);
+  EXPECT_NE(out.str().find("SFF"), std::string::npos);
+  EXPECT_NE(out.str().find("SIL3"), std::string::npos);
+  EXPECT_NE(out.str().find("ram-ecc"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  sheet.compute();
+  std::ostringstream out;
+  fm::writeCsv(out, sheet);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("zone,kind,component"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, sheet.rows().size() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// the probabilistic route (PFH)
+// ---------------------------------------------------------------------------
+
+TEST(Iec61508Test, PfhFromLambdaIsUndetectedRate) {
+  fm::Lambdas l;
+  l.dangerousUndetected = 50;  // FIT
+  EXPECT_DOUBLE_EQ(fm::pfhFromLambda(l), 50e-9);
+}
+
+TEST(Iec61508Test, PfhSilBands) {
+  EXPECT_EQ(fm::silFromPfh(5e-9), fm::Sil::Sil4);
+  EXPECT_EQ(fm::silFromPfh(5e-8), fm::Sil::Sil3);
+  EXPECT_EQ(fm::silFromPfh(5e-7), fm::Sil::Sil2);
+  EXPECT_EQ(fm::silFromPfh(5e-6), fm::Sil::Sil1);
+  EXPECT_EQ(fm::silFromPfh(5e-5), fm::Sil::NotAllowed);
+  // Band edges belong to the lower SIL.
+  EXPECT_EQ(fm::silFromPfh(1e-7), fm::Sil::Sil2);
+  EXPECT_DOUBLE_EQ(fm::pfhLimit(fm::Sil::Sil3), 1e-7);
+}
+
+TEST(SheetTest, PfhConsistentWithTotals) {
+  fm::FmeaSheet sheet;
+  fm::FmeaRow row;
+  row.zoneName = "z";
+  row.failureMode = "logic-stuck";
+  row.persistence = fm::Persistence::Permanent;
+  row.lambda = 100.0;  // all dangerous undetected (no S, no claims)
+  sheet.addRow(row);
+  sheet.compute();
+  EXPECT_DOUBLE_EQ(sheet.pfh(), 100e-9);
+  EXPECT_EQ(sheet.silByPfh(), fm::Sil::Sil2);  // 1e-7/h: SIL2 band edge
+}

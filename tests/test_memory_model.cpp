@@ -1,0 +1,117 @@
+// Tests for the behavioural memory with the IEC variable-memory fault
+// models: stuck cells, addressing faults, dynamic cross-over, soft errors.
+#include <gtest/gtest.h>
+
+#include "sim/memory_model.hpp"
+
+using socfmea::sim::AddressFaultKind;
+using socfmea::sim::CouplingFault;
+using socfmea::sim::MemoryModel;
+
+TEST(MemoryModelTest, BasicReadWrite) {
+  MemoryModel m(4, 16);
+  m.write(3, 0xBEEF);
+  EXPECT_EQ(m.read(3), 0xBEEFu);
+  EXPECT_EQ(m.read(0), 0u);
+}
+
+TEST(MemoryModelTest, DataMasked) {
+  MemoryModel m(2, 8);
+  m.write(0, 0x1FF);  // 9 bits into an 8-bit word
+  EXPECT_EQ(m.read(0), 0xFFu);
+}
+
+TEST(MemoryModelTest, RejectsHugeOrDegenerate) {
+  EXPECT_THROW(MemoryModel(31, 8), std::invalid_argument);
+  EXPECT_THROW(MemoryModel(4, 0), std::invalid_argument);
+  EXPECT_THROW(MemoryModel(4, 65), std::invalid_argument);
+}
+
+TEST(MemoryModelTest, StuckBitForcesValue) {
+  MemoryModel m(3, 8);
+  m.write(5, 0xFF);
+  m.addStuckBit(5, 2, false);  // bit 2 stuck at 0
+  EXPECT_EQ(m.read(5), 0xFBu);  // visible immediately
+  m.write(5, 0xFF);
+  EXPECT_EQ(m.read(5), 0xFBu);  // and on every later write
+  m.clearFaults();
+  m.write(5, 0xFF);
+  EXPECT_EQ(m.read(5), 0xFFu);
+}
+
+TEST(MemoryModelTest, StuckBitAtOne) {
+  MemoryModel m(3, 8);
+  m.addStuckBit(1, 7, true);
+  m.write(1, 0x00);
+  EXPECT_EQ(m.read(1), 0x80u);
+}
+
+TEST(MemoryModelTest, AddressFaultNoAccess) {
+  MemoryModel m(3, 8);
+  m.write(2, 0x11);
+  m.setAddressFault(2, AddressFaultKind::NoAccess);
+  m.write(2, 0x22);                 // write lost
+  EXPECT_EQ(m.peek(2), 0x11u);      // backdoor shows old data
+  EXPECT_EQ(m.read(2), 0xFFu);      // unselected bit-lines read ones
+}
+
+TEST(MemoryModelTest, AddressFaultWrong) {
+  MemoryModel m(3, 8);
+  m.setAddressFault(2, AddressFaultKind::Wrong, 5);
+  m.write(2, 0x33);  // lands at 5
+  EXPECT_EQ(m.peek(5), 0x33u);
+  EXPECT_EQ(m.peek(2), 0x00u);
+  EXPECT_EQ(m.read(2), 0x33u);  // reads also redirect
+}
+
+TEST(MemoryModelTest, AddressFaultMultiple) {
+  MemoryModel m(3, 8);
+  m.setAddressFault(1, AddressFaultKind::Multiple, 6);
+  m.write(1, 0xF0);  // written to both cells
+  EXPECT_EQ(m.peek(1), 0xF0u);
+  EXPECT_EQ(m.peek(6), 0xF0u);
+  m.poke(6, 0x0F);
+  EXPECT_EQ(m.read(1), 0x00u);  // wired-AND of 0xF0 and 0x0F
+}
+
+TEST(MemoryModelTest, CouplingInvertsVictimOnAggressorToggle) {
+  MemoryModel m(3, 8);
+  CouplingFault c;
+  c.aggressorAddr = 0;
+  c.aggressorBit = 0;
+  c.victimAddr = 4;
+  c.victimBit = 3;
+  c.invert = true;
+  m.addCoupling(c);
+  m.poke(4, 0x00);
+  m.write(0, 0x01);  // aggressor bit rises -> victim flips
+  EXPECT_EQ(m.peek(4), 0x08u);
+  m.write(0, 0x01);  // no toggle -> no disturb
+  EXPECT_EQ(m.peek(4), 0x08u);
+  m.write(0, 0x00);  // falls -> flips back
+  EXPECT_EQ(m.peek(4), 0x00u);
+}
+
+TEST(MemoryModelTest, SoftErrorFlipsStoredBit) {
+  MemoryModel m(3, 8);
+  m.write(7, 0x00);
+  m.flipBit(7, 4);
+  EXPECT_EQ(m.read(7), 0x10u);
+  m.flipBit(7, 4);
+  EXPECT_EQ(m.read(7), 0x00u);
+}
+
+TEST(MemoryModelTest, FillAllSetsPattern) {
+  MemoryModel m(2, 8);
+  m.fillAll(0xA5);
+  for (std::uint64_t a = 0; a < m.words(); ++a) EXPECT_EQ(m.peek(a), 0xA5u);
+}
+
+TEST(MemoryModelTest, HasFaultsTracksState) {
+  MemoryModel m(2, 8);
+  EXPECT_FALSE(m.hasFaults());
+  m.addStuckBit(0, 0, true);
+  EXPECT_TRUE(m.hasFaults());
+  m.clearFaults();
+  EXPECT_FALSE(m.hasFaults());
+}

@@ -1,0 +1,285 @@
+// Focused tests for the remaining memory-sub-system parts: AHB arbitration,
+// the memory controller's fault hooks, F-MEM scheduling (bus priority,
+// scrub-on-idle, forwarding), and the behavioural traffic generator.
+#include <gtest/gtest.h>
+
+#include "memsys/subsystem.hpp"
+#include "memsys/workloads.hpp"
+
+namespace ms = socfmea::memsys;
+
+// ---------------------------------------------------------------------------
+// AHB multilayer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A slave that accepts everything and completes immediately, recording the
+// grant order.
+class RecordingSlave final : public ms::AhbSlave {
+ public:
+  explicit RecordingSlave(ms::AhbMultilayer& bus, bool acceptAll = true)
+      : bus_(&bus), accept_(acceptAll) {}
+
+  bool acceptTransaction(const ms::AhbTransaction& txn) override {
+    if (!accept_) return false;
+    order.push_back(txn.master);
+    ms::AhbResponse r;
+    r.tag = txn.tag;
+    r.master = txn.master;
+    r.write = txn.write;
+    bus_->complete(r);
+    return true;
+  }
+
+  std::vector<std::uint32_t> order;
+  ms::AhbMultilayer* bus_;
+  bool accept_;
+};
+
+}  // namespace
+
+TEST(AhbTest, RoundRobinAlternatesBetweenBusyMasters) {
+  ms::AhbMultilayer bus(2);
+  RecordingSlave slave(bus);
+  bus.connectSlave(&slave);
+  for (int i = 0; i < 4; ++i) {
+    ms::AhbTransaction t;
+    t.master = 0;
+    t.tag = i;
+    bus.post(t);
+    t.master = 1;
+    bus.post(t);
+  }
+  for (int i = 0; i < 8; ++i) bus.step();
+  EXPECT_EQ(slave.order,
+            (std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(bus.granted(), 8u);
+  EXPECT_TRUE(bus.idle());
+}
+
+TEST(AhbTest, WaitStatesCountedWhenSlaveStalls) {
+  ms::AhbMultilayer bus(1);
+  RecordingSlave slave(bus, /*acceptAll=*/false);
+  bus.connectSlave(&slave);
+  ms::AhbTransaction t;
+  bus.post(t);
+  for (int i = 0; i < 3; ++i) bus.step();
+  EXPECT_EQ(bus.waitStates(), 3u);
+  EXPECT_EQ(bus.granted(), 0u);
+  slave.accept_ = true;
+  bus.step();
+  EXPECT_EQ(bus.granted(), 1u);
+}
+
+TEST(AhbTest, ResponsesRoutedPerMaster) {
+  ms::AhbMultilayer bus(2);
+  RecordingSlave slave(bus);
+  bus.connectSlave(&slave);
+  ms::AhbTransaction t;
+  t.master = 1;
+  t.tag = 77;
+  bus.post(t);
+  bus.step();
+  EXPECT_FALSE(bus.collect(0).has_value());
+  const auto r = bus.collect(1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tag, 77u);
+  EXPECT_FALSE(bus.collect(1).has_value());  // consumed
+}
+
+TEST(AhbTest, StepWithoutSlaveThrows) {
+  ms::AhbMultilayer bus(1);
+  bus.post(ms::AhbTransaction{});
+  EXPECT_THROW(bus.step(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// memory controller
+// ---------------------------------------------------------------------------
+
+TEST(MemControllerTest, ReadReturnsOneCycleLater) {
+  ms::CodeMemory mem(4);
+  ms::MemController ctrl(mem);
+  mem.writeCode(3, 0x1234);
+  EXPECT_TRUE(ctrl.issueRead(3, 9));
+  EXPECT_TRUE(ctrl.busy());
+  EXPECT_FALSE(ctrl.issueRead(2, 10));  // single outstanding
+  const auto r = ctrl.tick();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->code, 0x1234u);
+  EXPECT_EQ(r->tag, 9u);
+  EXPECT_FALSE(ctrl.tick().has_value());
+}
+
+TEST(MemControllerTest, StuckAddressBitRedirectsAccesses) {
+  ms::CodeMemory mem(4);
+  ms::MemController ctrl(mem);
+  ctrl.setStuckAddrBit(0, true);  // address LSB stuck at 1
+  ctrl.issueWrite(4, 0xAA);       // lands at 5
+  EXPECT_EQ(mem.model().peek(5), 0xAAu);
+  EXPECT_EQ(mem.model().peek(4), 0u);
+  ctrl.clearStuckAddrBit();
+  ctrl.issueWrite(4, 0xBB);
+  EXPECT_EQ(mem.model().peek(4), 0xBBu);
+}
+
+// ---------------------------------------------------------------------------
+// F-MEM scheduling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ms::FMemConfig v2FmemConfig() {
+  ms::FMemConfig cfg;
+  cfg.addressInCode = true;
+  cfg.wbufParity = true;
+  cfg.decoder.postCoderChecker = true;
+  cfg.decoder.redundantChecker = true;
+  cfg.decoder.distributedSyndrome = true;
+  return cfg;
+}
+
+// Runs ticks until a bus read completes (or the budget runs out).
+std::optional<ms::FMem::ReadComplete> drain(ms::FMem& fmem, bool busIdle,
+                                            int budget = 16) {
+  for (int i = 0; i < budget; ++i) {
+    if (auto rc = fmem.tick(busIdle)) return rc;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TEST(FMemTest, WriteThenReadRoundTrip) {
+  ms::CodeMemory mem(6);
+  ms::FMem fmem(mem, v2FmemConfig());
+  fmem.requestWrite(10, 0xCAFEBABE);
+  (void)drain(fmem, false);  // drains the buffer
+  fmem.requestRead(10, 1);
+  const auto rc = drain(fmem, false);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->tag, 1u);
+  EXPECT_EQ(rc->data, 0xCAFEBABEu);
+  EXPECT_FALSE(rc->uncorrectable);
+}
+
+TEST(FMemTest, ForwardingServesInFlightWrite) {
+  ms::CodeMemory mem(6);
+  ms::FMem fmem(mem, v2FmemConfig());
+  fmem.requestWrite(5, 0x11112222);
+  // Read issued the same cycle, before the buffer drains.
+  fmem.requestRead(5, 2);
+  const auto rc = drain(fmem, false);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(rc->data, 0x11112222u);
+}
+
+TEST(FMemTest, ScrubUsesOnlyIdleSlots) {
+  ms::CodeMemory mem(4);
+  ms::FMem fmem(mem, v2FmemConfig());
+  // Busy bus: no scrub activity accumulates.
+  for (int i = 0; i < 20; ++i) (void)fmem.tick(/*busIdle=*/false);
+  EXPECT_EQ(fmem.scrubber().stats().scansIssued, 0u);
+  for (int i = 0; i < 20; ++i) (void)fmem.tick(/*busIdle=*/true);
+  EXPECT_GT(fmem.scrubber().stats().scansIssued, 0u);
+}
+
+TEST(FMemTest, ScrubRepairsCorruptedWord) {
+  ms::CodeMemory mem(4);
+  ms::FMem fmem(mem, v2FmemConfig());
+  fmem.requestWrite(2, 0x0BADF00D);
+  (void)drain(fmem, false);
+  mem.model().flipBit(2, 6);  // plant a single-bit error
+  for (int i = 0; i < 64; ++i) (void)fmem.tick(true);  // idle: scan + repair
+  const ms::HammingCodec codec(true);
+  EXPECT_EQ(codec.decode(mem.readCode(2), 2).status, ms::EccStatus::Ok);
+  EXPECT_GE(fmem.scrubber().stats().correctableSeen, 1u);
+}
+
+TEST(FMemTest, UncorrectableReadFlagged) {
+  ms::CodeMemory mem(4);
+  ms::FMem fmem(mem, v2FmemConfig());
+  fmem.requestWrite(1, 0x5555AAAA);
+  (void)drain(fmem, false);
+  mem.model().flipBit(1, 3);
+  mem.model().flipBit(1, 17);
+  fmem.requestRead(1, 3);
+  const auto rc = drain(fmem, false);
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_TRUE(rc->uncorrectable);
+  EXPECT_GE(fmem.alarms().uncorrectable(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// behavioural traffic generator
+// ---------------------------------------------------------------------------
+
+TEST(TrafficTest, CleanRunHasNoMismatches) {
+  ms::MemSubsystem sys(ms::MemSysConfig::v2());
+  const auto stats = ms::runBehavioralTraffic(sys, 300, 11);
+  EXPECT_GT(stats.writes, 50u);
+  EXPECT_GT(stats.reads, 50u);
+  EXPECT_EQ(stats.readMismatches, 0u);
+  EXPECT_GT(stats.mpuDenials, 0u);
+  EXPECT_GT(stats.cycles, stats.writes + stats.reads);
+}
+
+TEST(TrafficTest, V1AlsoCleanFaultFree) {
+  ms::MemSubsystem sys(ms::MemSysConfig::v1());
+  const auto stats = ms::runBehavioralTraffic(sys, 300, 11);
+  EXPECT_EQ(stats.readMismatches, 0u);
+}
+
+TEST(TrafficTest, AlarmCountersAccumulate) {
+  ms::AlarmCounters a;
+  a.singleCorrected = 2;
+  a.mpuViolation = 1;
+  ms::AlarmCounters b;
+  b.singleCorrected = 3;
+  b.doubleError = 1;
+  a += b;
+  EXPECT_EQ(a.singleCorrected, 5u);
+  EXPECT_EQ(a.doubleError, 1u);
+  EXPECT_EQ(a.uncorrectable(), 1u);
+  EXPECT_EQ(a.total(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// alarm printer and workload options coverage
+// ---------------------------------------------------------------------------
+
+#include <sstream>
+
+TEST(TrafficTest, PrintAlarmsListsEveryCounter) {
+  ms::AlarmCounters a;
+  a.singleCorrected = 4;
+  a.addressError = 2;
+  std::ostringstream out;
+  ms::printAlarms(out, a);
+  EXPECT_NE(out.str().find("corrected 4"), std::string::npos);
+  EXPECT_NE(out.str().find("address 2"), std::string::npos);
+}
+
+TEST(FMemTest, AlarmsClearable) {
+  ms::CodeMemory mem(4);
+  ms::FMem fmem(mem, v2FmemConfig());
+  fmem.requestWrite(1, 0x1);
+  (void)drain(fmem, false);
+  mem.model().flipBit(1, 2);
+  fmem.requestRead(1, 1);
+  (void)drain(fmem, false);
+  EXPECT_GT(fmem.alarms().total(), 0u);
+  fmem.clearAlarms();
+  EXPECT_EQ(fmem.alarms().total(), 0u);
+}
+
+TEST(FMemTest, CannotAcceptSecondReadSameCycle) {
+  ms::CodeMemory mem(4);
+  ms::FMem fmem(mem, v2FmemConfig());
+  EXPECT_TRUE(fmem.canAcceptRead());
+  fmem.requestRead(0, 1);
+  EXPECT_FALSE(fmem.canAcceptRead());
+  (void)fmem.tick(false);
+  EXPECT_TRUE(fmem.canAcceptRead());
+}

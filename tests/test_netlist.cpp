@@ -1,0 +1,422 @@
+// Unit tests for the netlist substrate: cell utilities, graph construction
+// and integrity checks, levelization, the builder, and the traversals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/builder.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/traversal.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace nl = socfmea::netlist;
+
+// ---------------------------------------------------------------------------
+// cell utilities
+// ---------------------------------------------------------------------------
+
+TEST(CellTest, TypeNamesRoundTrip) {
+  for (int t = 0; t <= static_cast<int>(nl::CellType::Output); ++t) {
+    const auto type = static_cast<nl::CellType>(t);
+    nl::CellType back{};
+    ASSERT_TRUE(nl::cellTypeFromName(nl::cellTypeName(type), back));
+    EXPECT_EQ(back, type);
+  }
+}
+
+TEST(CellTest, UnknownTypeNameRejected) {
+  nl::CellType t{};
+  EXPECT_FALSE(nl::cellTypeFromName("latch3", t));
+  EXPECT_FALSE(nl::cellTypeFromName("", t));
+}
+
+TEST(CellTest, CombinationalClassification) {
+  EXPECT_TRUE(nl::isCombinational(nl::CellType::And));
+  EXPECT_TRUE(nl::isCombinational(nl::CellType::Mux2));
+  EXPECT_TRUE(nl::isCombinational(nl::CellType::Const0));
+  EXPECT_FALSE(nl::isCombinational(nl::CellType::Dff));
+  EXPECT_FALSE(nl::isCombinational(nl::CellType::Input));
+  EXPECT_FALSE(nl::isCombinational(nl::CellType::Output));
+  EXPECT_TRUE(nl::isSequential(nl::CellType::Dff));
+  EXPECT_FALSE(nl::isSequential(nl::CellType::And));
+}
+
+TEST(CellTest, HierPrefixAndLeaf) {
+  EXPECT_EQ(nl::hierPrefix("a/b/c"), "a/b");
+  EXPECT_EQ(nl::leafName("a/b/c"), "c");
+  EXPECT_EQ(nl::hierPrefix("flat"), "");
+  EXPECT_EQ(nl::leafName("flat"), "flat");
+}
+
+TEST(CellTest, RegisterStemUnderscoreForm) {
+  int bit = -1;
+  EXPECT_EQ(nl::registerStem("reg_12", bit), "reg");
+  EXPECT_EQ(bit, 12);
+  EXPECT_EQ(nl::registerStem("u/dp/data_0", bit), "u/dp/data");
+  EXPECT_EQ(bit, 0);
+}
+
+TEST(CellTest, RegisterStemBracketForm) {
+  int bit = -1;
+  EXPECT_EQ(nl::registerStem("reg[7]", bit), "reg");
+  EXPECT_EQ(bit, 7);
+}
+
+TEST(CellTest, RegisterStemNoIndex) {
+  int bit = 99;
+  EXPECT_EQ(nl::registerStem("state", bit), "state");
+  EXPECT_EQ(bit, -1);
+  EXPECT_EQ(nl::registerStem("foo_bar", bit), "foo_bar");
+  EXPECT_EQ(bit, -1);
+}
+
+// ---------------------------------------------------------------------------
+// netlist graph
+// ---------------------------------------------------------------------------
+
+TEST(NetlistTest, BasicConstruction) {
+  nl::Netlist n("t");
+  const auto a = n.addInput("a");
+  const auto b = n.addInput("b");
+  const auto y = n.addNet("y");
+  n.addCell(nl::CellType::And, "g1", {a, b}, y);
+  n.addOutput("out", y);
+  EXPECT_EQ(n.netCount(), 3u);
+  EXPECT_EQ(n.cellCount(), 4u);  // two input ports, the gate, the output
+  EXPECT_EQ(n.gateCount(), 1u);
+  EXPECT_NO_THROW(n.check());
+}
+
+TEST(NetlistTest, DuplicateNetNameRejected) {
+  nl::Netlist n;
+  n.addNet("w");
+  EXPECT_THROW(n.addNet("w"), nl::NetlistError);
+}
+
+TEST(NetlistTest, DuplicateCellNameRejected) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto y1 = n.addNet("y1");
+  const auto y2 = n.addNet("y2");
+  n.addCell(nl::CellType::Buf, "g", {a}, y1);
+  EXPECT_THROW(n.addCell(nl::CellType::Buf, "g", {a}, y2), nl::NetlistError);
+}
+
+TEST(NetlistTest, MultipleDriversRejected) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto y = n.addNet("y");
+  n.addCell(nl::CellType::Buf, "g1", {a}, y);
+  EXPECT_THROW(n.addCell(nl::CellType::Not, "g2", {a}, y), nl::NetlistError);
+}
+
+TEST(NetlistTest, ArityValidated) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto y = n.addNet("y");
+  // AND needs at least two inputs.
+  EXPECT_THROW(n.addCell(nl::CellType::And, "g", {a}, y), nl::NetlistError);
+  // NOT takes exactly one.
+  const auto b = n.addInput("b");
+  EXPECT_THROW(n.addCell(nl::CellType::Not, "g2", {a, b}, y),
+               nl::NetlistError);
+}
+
+TEST(NetlistTest, UndrivenNetFailsCheck) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto w = n.addNet("floating");
+  const auto y = n.addNet("y");
+  n.addCell(nl::CellType::And, "g", {a, w}, y);
+  n.addOutput("o", y);
+  EXPECT_THROW(n.check(), nl::NetlistError);
+}
+
+TEST(NetlistTest, FindByName) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  EXPECT_EQ(n.findNet("a"), a);
+  EXPECT_FALSE(n.findNet("zz").has_value());
+  EXPECT_TRUE(n.findCell("a.in").has_value());
+  EXPECT_FALSE(n.findCell("zz").has_value());
+}
+
+TEST(NetlistTest, DffOptionalPins) {
+  nl::Netlist n;
+  const auto d = n.addInput("d");
+  const auto q = n.addNet("q");
+  const auto id = n.addDff("r", d, q);
+  EXPECT_EQ(n.cell(id).inputs[nl::DffPins::kEn], nl::kNoNet);
+  EXPECT_EQ(n.cell(id).inputs[nl::DffPins::kRst], nl::kNoNet);
+  n.addOutput("o", q);
+  EXPECT_NO_THROW(n.check());
+}
+
+TEST(NetlistTest, MemoryPortWidthValidated) {
+  nl::Netlist n;
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 2;
+  m.dataBits = 1;
+  m.addr = {n.addInput("a0")};  // too narrow
+  m.wdata = {n.addInput("d0")};
+  m.rdata = {n.addNet("r0")};
+  m.writeEnable = n.addInput("we");
+  EXPECT_THROW(n.addMemory(std::move(m)), nl::NetlistError);
+}
+
+TEST(NetlistTest, MemoryRdataMustBeFresh) {
+  nl::Netlist n;
+  const auto a = n.addInput("a0");
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 1;
+  m.dataBits = 1;
+  m.addr = {a};
+  m.wdata = {n.addInput("d0")};
+  m.rdata = {a};  // already driven by the input port
+  m.writeEnable = n.addInput("we");
+  EXPECT_THROW(n.addMemory(std::move(m)), nl::NetlistError);
+}
+
+// ---------------------------------------------------------------------------
+// levelization
+// ---------------------------------------------------------------------------
+
+TEST(LevelizeTest, OrderRespectsDependencies) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto b = n.addInput("b");
+  const auto w1 = n.addNet("w1");
+  const auto w2 = n.addNet("w2");
+  const auto g1 = n.addCell(nl::CellType::And, "g1", {a, b}, w1);
+  const auto g2 = n.addCell(nl::CellType::Not, "g2", {w1}, w2);
+  n.addOutput("o", w2);
+  const auto lev = nl::levelize(n);
+  ASSERT_EQ(lev.order.size(), 2u);
+  const auto pos = [&](nl::CellId id) {
+    return std::find(lev.order.begin(), lev.order.end(), id) -
+           lev.order.begin();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_EQ(lev.level[g1], 0u);
+  EXPECT_EQ(lev.level[g2], 1u);
+  EXPECT_EQ(lev.maxLevel, 1u);
+}
+
+TEST(LevelizeTest, CombinationalCycleDetected) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto w1 = n.addNet("w1");
+  const auto w2 = n.addNet("w2");
+  n.addCell(nl::CellType::And, "g1", {a, w2}, w1);
+  n.addCell(nl::CellType::Not, "g2", {w1}, w2);
+  EXPECT_THROW(nl::levelize(n), nl::NetlistError);
+}
+
+TEST(LevelizeTest, DffBreaksCycle) {
+  nl::Netlist n;
+  const auto q = n.addNet("q");
+  const auto nq = n.addNet("nq");
+  n.addCell(nl::CellType::Not, "inv", {q}, nq);
+  n.addDff("r", nq, q);  // toggle flop: loop through the register is fine
+  EXPECT_NO_THROW(nl::levelize(n));
+}
+
+// ---------------------------------------------------------------------------
+// builder
+// ---------------------------------------------------------------------------
+
+TEST(BuilderTest, ScopedNaming) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  b.pushScope("u_top");
+  b.pushScope("u_sub");
+  EXPECT_EQ(b.qualify("x"), "u_top/u_sub/x");
+  b.popScope();
+  EXPECT_EQ(b.qualify("x"), "u_top/x");
+}
+
+TEST(BuilderTest, ConstantsEvaluate) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto c0 = b.constNet(false);
+  const auto c1 = b.constNet(true);
+  EXPECT_NE(c0, c1);
+  EXPECT_EQ(n.cell(n.net(c0).driver).type, nl::CellType::Const0);
+  EXPECT_EQ(n.cell(n.net(c1).driver).type, nl::CellType::Const1);
+}
+
+TEST(BuilderTest, SliceAndConcat) {
+  nl::Bus bus{1, 2, 3, 4, 5};
+  const auto s = nl::Builder::slice(bus, 1, 3);
+  EXPECT_EQ(s, (nl::Bus{2, 3, 4}));
+  const auto c = nl::Builder::concat({1, 2}, {3});
+  EXPECT_EQ(c, (nl::Bus{1, 2, 3}));
+}
+
+TEST(BuilderTest, RegisterBusNamesBits) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto d = b.inputBus("d", 4);
+  b.registerBus("r", d);
+  EXPECT_TRUE(n.findCell("r_0").has_value());
+  EXPECT_TRUE(n.findCell("r_3").has_value());
+  int bit = -1;
+  EXPECT_EQ(nl::registerStem("r_3", bit), "r");
+}
+
+// ---------------------------------------------------------------------------
+// traversal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A two-stage design: in -> g1 -> r1 -> g2 -> r2 -> out, plus a side input
+// feeding g2 only.
+struct Pipe {
+  nl::Netlist n;
+  nl::NetId in, side, w1, q1, w2, q2;
+  nl::CellId g1, g2, r1, r2;
+
+  Pipe() {
+    in = n.addInput("in");
+    side = n.addInput("side");
+    w1 = n.addNet("w1");
+    q1 = n.addNet("q1");
+    w2 = n.addNet("w2");
+    q2 = n.addNet("q2");
+    g1 = n.addCell(nl::CellType::Not, "g1", {in}, w1);
+    r1 = n.addDff("r1", w1, q1);
+    g2 = n.addCell(nl::CellType::And, "g2", {q1, side}, w2);
+    r2 = n.addDff("r2", w2, q2);
+    n.addOutput("out", q2);
+  }
+};
+
+}  // namespace
+
+TEST(TraversalTest, FaninConeStopsAtRegisters) {
+  Pipe p;
+  const auto cone = nl::faninCone(p.n, {p.w2});
+  // g2 is in the cone; g1 is behind register r1 and must not be.
+  EXPECT_EQ(cone.gates, (std::vector<nl::CellId>{p.g2}));
+  EXPECT_EQ(cone.supportFfs, (std::vector<nl::CellId>{p.r1}));
+  ASSERT_EQ(cone.supportPis.size(), 1u);  // the side input only
+}
+
+TEST(TraversalTest, ForwardReachThroughRegisters) {
+  Pipe p;
+  const auto combOnly = nl::forwardReach(p.n, {p.w1}, false);
+  // Stops at r1: g2, r2 and the output are not reached combinationally.
+  EXPECT_TRUE(std::find(combOnly.begin(), combOnly.end(), p.r1) !=
+              combOnly.end());
+  EXPECT_TRUE(std::find(combOnly.begin(), combOnly.end(), p.g2) ==
+              combOnly.end());
+  const auto full = nl::forwardReach(p.n, {p.w1}, true);
+  EXPECT_TRUE(std::find(full.begin(), full.end(), p.g2) != full.end());
+  EXPECT_TRUE(std::find(full.begin(), full.end(), p.r2) != full.end());
+}
+
+TEST(TraversalTest, ForwardReachThroughMemory) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto d = n.addInput("d");
+  const auto we = n.addInput("we");
+  const auto r = n.addNet("r");
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 1;
+  m.dataBits = 1;
+  m.addr = {a};
+  m.wdata = {d};
+  m.rdata = {r};
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  const auto y = n.addNet("y");
+  n.addCell(nl::CellType::Buf, "g", {r}, y);
+  const auto po = n.addOutput("o", y);
+
+  const auto noMem = nl::forwardReach(n, {d}, true, false);
+  EXPECT_TRUE(std::find(noMem.begin(), noMem.end(), po) == noMem.end());
+  const auto withMem = nl::forwardReach(n, {d}, true, true);
+  EXPECT_TRUE(std::find(withMem.begin(), withMem.end(), po) != withMem.end());
+}
+
+TEST(TraversalTest, CombFanoutNets) {
+  Pipe p;
+  const auto nets = nl::combFanoutNets(p.n, p.q1);
+  EXPECT_TRUE(std::find(nets.begin(), nets.end(), p.w2) != nets.end());
+  EXPECT_TRUE(std::find(nets.begin(), nets.end(), p.q2) == nets.end());
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, CountsMatchDesign) {
+  Pipe p;
+  const auto s = nl::computeStats(p.n);
+  EXPECT_EQ(s.gates, 2u);
+  EXPECT_EQ(s.flipFlops, 2u);
+  EXPECT_EQ(s.primaryInputs, 2u);
+  EXPECT_EQ(s.primaryOutputs, 1u);
+  EXPECT_EQ(s.memories, 0u);
+  EXPECT_EQ(s.maxDepth, 0u);  // each gate is fed by sources only
+}
+
+// ---------------------------------------------------------------------------
+// property: the builder's adder matches integer addition
+// ---------------------------------------------------------------------------
+
+class AdderProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderProperty, MatchesIntegerAddition) {
+  const std::size_t width = GetParam();
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", width);
+  const auto c = b.inputBus("b", width);
+  const auto sum = b.adder(a, c);
+  b.outputBus("s", sum);
+  n.check();
+
+  socfmea::sim::Simulator sim(n);
+  socfmea::sim::Rng rng(width * 1234567);
+  const std::uint64_t mask = width >= 64 ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << width) - 1;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t x = rng.next() & mask;
+    const std::uint64_t y = rng.next() & mask;
+    sim.setInputBus(a, x);
+    sim.setInputBus(c, y);
+    sim.evalComb();
+    EXPECT_EQ(sim.busValue(sum), (x + y) & mask) << "width " << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderProperty,
+                         ::testing::Values(1, 2, 3, 8, 16, 32, 48));
+
+class EqualConstProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EqualConstProperty, MatchesComparison) {
+  const std::uint64_t target = GetParam();
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 6);
+  const auto eq = b.equalConst(a, target);
+  b.output("eq", eq);
+  socfmea::sim::Simulator sim(n);
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    sim.setInputBus(a, v);
+    sim.evalComb();
+    EXPECT_EQ(sim.value(eq) == socfmea::sim::Logic::L1, v == target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EqualConstProperty,
+                         ::testing::Values(0, 1, 7, 21, 38, 63));

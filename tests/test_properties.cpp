@@ -1,0 +1,196 @@
+// Cross-cutting property suites (TEST_P sweeps over seeds/configurations):
+//   * fault-collapsing equivalence: a collapsed representative has exactly
+//     the same detectability as the original fault;
+//   * full-design .snl round-trip: the generated protection IP survives
+//     write -> parse -> simulate identically;
+//   * campaign determinism: identical seeds give identical outcomes;
+//   * Hamming SEC-DED over the full single+double error space for sampled
+//     data words.
+#include <gtest/gtest.h>
+
+#include "core/frmem_config.hpp"
+#include "fault/collapse.hpp"
+#include "faultsim/serial.hpp"
+#include "inject/manager.hpp"
+#include "inject/workload.hpp"
+#include "memsys/hamming.hpp"
+#include "memsys/workloads.hpp"
+#include "netlist/text_format.hpp"
+
+namespace nl = socfmea::netlist;
+namespace ft = socfmea::fault;
+namespace fs = socfmea::faultsim;
+namespace ij = socfmea::inject;
+namespace ms = socfmea::memsys;
+namespace sm = socfmea::sim;
+
+// ---------------------------------------------------------------------------
+// collapsing preserves detectability
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Chain design with buffers/inverters so collapsing has work to do.
+struct ChainDesign {
+  nl::Netlist n{"chain"};
+  nl::NetId rst;
+
+  ChainDesign() {
+    nl::Builder b(n);
+    rst = b.input("rst");
+    const auto a = b.inputBus("a", 4);
+    nl::Bus x = a;
+    // Alternating buffer/inverter chains into a register and outputs.
+    for (int i = 0; i < 4; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          (i % 2 == 0) ? b.bnot(b.bbuf(x[i])) : b.bbuf(b.bnot(x[i]));
+    }
+    const auto q = b.registerBus("r", x, nl::kNoNet, rst, 0);
+    b.outputBus("y", q);
+    b.output("p", b.reduceXor(q));
+    n.check();
+  }
+};
+
+}  // namespace
+
+class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseEquivalence, RepresentativeHasSameDetectability) {
+  ChainDesign d;
+  ij::RandomWorkload wl(d.n, 60, GetParam(), {{d.rst, false}});
+
+  ft::FaultList original = ft::allStuckAtFaults(d.n);
+  ft::FaultList collapsed = original;
+  const auto stats = ft::collapseStuckAt(d.n, collapsed);
+  ASSERT_LT(stats.after, stats.before);  // something actually collapsed
+
+  // Each original fault must have the same verdict as its representative.
+  const auto originalRes = fs::runSerialFaultSim(d.n, wl, original);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ft::FaultList one{original[i]};
+    ft::collapseStuckAt(d.n, one);
+    const auto repRes = fs::runSerialFaultSim(d.n, wl, one);
+    EXPECT_EQ(originalRes.outcomes[i], repRes.outcomes[0])
+        << original[i].describe(d.n) << " vs representative "
+        << one[0].describe(d.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseEquivalence,
+                         ::testing::Values(1, 7, 23));
+
+// ---------------------------------------------------------------------------
+// full-design .snl round trip
+// ---------------------------------------------------------------------------
+
+class SnlRoundTrip : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SnlRoundTrip, ProtectionIpSimulatesIdentically) {
+  const auto opt = GetParam() ? ms::GateLevelOptions::v2()
+                              : ms::GateLevelOptions::v1();
+  const auto design = ms::buildProtectionIp(opt);
+  const auto reparsed =
+      nl::readNetlistString(nl::writeNetlistString(design.nl));
+
+  // Same golden output trace cycle by cycle on both netlists.
+  ms::ProtectionIpWorkload::Options wopt;
+  wopt.cycles = 400;
+  ms::ProtectionIpWorkload wl(design, wopt);
+
+  sm::Simulator s1(design.nl);
+  sm::Simulator s2(reparsed);
+  wl.restart();
+  std::vector<nl::NetId> nets1;
+  std::vector<nl::NetId> nets2;
+  for (nl::CellId po : design.nl.primaryOutputs()) {
+    nets1.push_back(design.nl.cell(po).inputs[0]);
+  }
+  for (nl::CellId po : reparsed.primaryOutputs()) {
+    nets2.push_back(reparsed.cell(po).inputs[0]);
+  }
+  ASSERT_EQ(nets1.size(), nets2.size());
+
+  for (std::uint64_t c = 0; c < wopt.cycles; ++c) {
+    // Drive both simulators with the same plan (drive() resolves nets by id,
+    // which survive the round trip in creation order for inputs).
+    wl.drive(s1, c);
+    wl.backdoor(s1, c);
+    // Mirror inputs onto the reparsed design by name.
+    for (nl::CellId pi : design.nl.primaryInputs()) {
+      const auto& cell = design.nl.cell(pi);
+      s2.setInput(*reparsed.findNet(design.nl.net(cell.output).name),
+                  s1.value(cell.output));
+    }
+    wl.backdoor(s2, c);
+    s1.evalComb();
+    s2.evalComb();
+    for (std::size_t i = 0; i < nets1.size(); ++i) {
+      ASSERT_EQ(s1.value(nets1[i]), s2.value(nets2[i]))
+          << "cycle " << c << " output " << i;
+    }
+    s1.clockEdge();
+    s2.clockEdge();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, SnlRoundTrip, ::testing::Values(false, true));
+
+// ---------------------------------------------------------------------------
+// campaign determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsGiveIdenticalCampaigns) {
+  const auto design = ms::buildProtectionIp(ms::GateLevelOptions::v2());
+  socfmea::core::FmeaFlow flow(design.nl,
+                               socfmea::core::makeFrmemFlowConfig(design));
+  ms::ProtectionIpWorkload::Options wopt;
+  wopt.cycles = 600;
+  ms::ProtectionIpWorkload wl(design, wopt);
+
+  const auto runOnce = [&] {
+    const auto env = ij::EnvironmentBuilder(flow.zones(), flow.effects())
+                         .withSeed(31)
+                         .build();
+    ij::InjectionManager mgr(design.nl, env);
+    const auto profile = ij::OperationalProfile::record(flow.zones(), wl);
+    auto faults = mgr.zoneFailureFaults(profile, 1, 31);
+    faults.resize(std::min<std::size_t>(faults.size(), 40));
+    const auto res = mgr.run(wl, faults);
+    std::vector<int> outcomes;
+    for (const auto& r : res.records) {
+      outcomes.push_back(static_cast<int>(r.outcome));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+// ---------------------------------------------------------------------------
+// Hamming: exhaustive double-error space for sampled data words
+// ---------------------------------------------------------------------------
+
+class HammingDoubleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HammingDoubleSweep, EveryDoubleDetectedEverySingleCorrected) {
+  const ms::HammingCodec codec;
+  const std::uint32_t data = GetParam();
+  const std::uint64_t clean = codec.encode(data);
+  for (std::uint32_t b1 = 0; b1 < ms::kCodeBits; ++b1) {
+    // Singles.
+    const auto s = codec.decode(clean ^ (std::uint64_t{1} << b1));
+    EXPECT_EQ(s.data, data);
+    // Doubles: every pair with b1.
+    for (std::uint32_t b2 = b1 + 1; b2 < ms::kCodeBits; ++b2) {
+      const auto r = codec.decode(clean ^ (std::uint64_t{1} << b1) ^
+                                  (std::uint64_t{1} << b2));
+      EXPECT_EQ(r.status, ms::EccStatus::DoubleError)
+          << "bits " << b1 << "," << b2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DataWords, HammingDoubleSweep,
+                         ::testing::Values(0x00000000u, 0xFFFFFFFFu,
+                                           0xA5A5A5A5u, 0x12345678u,
+                                           0x80000001u));

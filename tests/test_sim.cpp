@@ -1,0 +1,343 @@
+// Tests for the simulator: multi-valued logic, cycle semantics, flip-flop
+// enable/reset behaviour, memory ports, fault hooks, tracing and the RNG.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "sim/logic4.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace nl = socfmea::netlist;
+namespace sm = socfmea::sim;
+using sm::Logic;
+
+// ---------------------------------------------------------------------------
+// logic4
+// ---------------------------------------------------------------------------
+
+TEST(Logic4Test, NotTable) {
+  EXPECT_EQ(sm::logicNot(Logic::L0), Logic::L1);
+  EXPECT_EQ(sm::logicNot(Logic::L1), Logic::L0);
+  EXPECT_EQ(sm::logicNot(Logic::LX), Logic::LX);
+  EXPECT_EQ(sm::logicNot(Logic::LZ), Logic::LX);
+}
+
+TEST(Logic4Test, DominantValuesBeatUnknown) {
+  // 0 dominates AND; 1 dominates OR — X must not poison those.
+  EXPECT_EQ(sm::logicAnd(Logic::L0, Logic::LX), Logic::L0);
+  EXPECT_EQ(sm::logicOr(Logic::L1, Logic::LX), Logic::L1);
+  EXPECT_EQ(sm::logicAnd(Logic::L1, Logic::LX), Logic::LX);
+  EXPECT_EQ(sm::logicOr(Logic::L0, Logic::LX), Logic::LX);
+  EXPECT_EQ(sm::logicXor(Logic::L1, Logic::LX), Logic::LX);
+}
+
+TEST(Logic4Test, MuxUnknownSelectAgreeingLegs) {
+  const Logic in1[] = {Logic::LX, Logic::L1, Logic::L1};
+  EXPECT_EQ(sm::evalCell(nl::CellType::Mux2, in1), Logic::L1);
+  const Logic in2[] = {Logic::LX, Logic::L0, Logic::L1};
+  EXPECT_EQ(sm::evalCell(nl::CellType::Mux2, in2), Logic::LX);
+}
+
+TEST(Logic4Test, PackUnpackRoundTrip) {
+  const auto bits = sm::unpackBits(0xA5, 8);
+  std::uint64_t unknown = 0;
+  EXPECT_EQ(sm::packBits(bits, &unknown), 0xA5u);
+  EXPECT_EQ(unknown, 0u);
+  std::vector<Logic> withX = bits;
+  withX[3] = Logic::LX;
+  (void)sm::packBits(withX, &unknown);
+  EXPECT_EQ(unknown, 0x08u);
+}
+
+// Exhaustive two-input truth tables for the basic gates.
+class GateTruthTable
+    : public ::testing::TestWithParam<std::tuple<nl::CellType, int>> {};
+
+TEST_P(GateTruthTable, MatchesBoolean) {
+  const auto [type, combo] = GetParam();
+  const bool a = combo & 1;
+  const bool b = combo & 2;
+  const Logic in[] = {sm::fromBool(a), sm::fromBool(b)};
+  bool expect = false;
+  switch (type) {
+    case nl::CellType::And: expect = a && b; break;
+    case nl::CellType::Or: expect = a || b; break;
+    case nl::CellType::Nand: expect = !(a && b); break;
+    case nl::CellType::Nor: expect = !(a || b); break;
+    case nl::CellType::Xor: expect = a != b; break;
+    case nl::CellType::Xnor: expect = a == b; break;
+    default: FAIL();
+  }
+  EXPECT_EQ(sm::evalCell(type, in), sm::fromBool(expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAllInputs, GateTruthTable,
+    ::testing::Combine(::testing::Values(nl::CellType::And, nl::CellType::Or,
+                                         nl::CellType::Nand, nl::CellType::Nor,
+                                         nl::CellType::Xor, nl::CellType::Xnor),
+                       ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------------
+// simulator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// 4-bit counter with enable and synchronous reset.
+struct Counter {
+  nl::Netlist n{"counter"};
+  nl::NetId rst, en;
+  nl::Bus q;
+
+  Counter() {
+    nl::Builder b(n);
+    rst = b.input("rst");
+    en = b.input("en");
+    q.resize(4);
+    for (int i = 0; i < 4; ++i) q[i] = n.addNet("q" + std::to_string(i));
+    const auto inc = b.incrementer(q);
+    for (int i = 0; i < 4; ++i) {
+      n.addDff("c_" + std::to_string(i), inc[i], q[i], en, rst, false);
+    }
+    b.outputBus("count", q);
+    n.check();
+  }
+};
+
+}  // namespace
+
+TEST(SimulatorTest, CounterCountsWhenEnabled) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(5);
+  EXPECT_EQ(sim.busValue(c.q), 5u);
+}
+
+TEST(SimulatorTest, EnableHoldsState) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(3);
+  sim.setInput(c.en, Logic::L0);
+  sim.run(10);
+  EXPECT_EQ(sim.busValue(c.q), 3u);
+}
+
+TEST(SimulatorTest, SynchronousResetClears) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(7);
+  sim.setInput(c.rst, Logic::L1);
+  sim.step();
+  EXPECT_EQ(sim.busValue(c.q), 0u);
+}
+
+TEST(SimulatorTest, ResetRestoresInitialState) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(9);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(sim.busValue(c.q), 0u);
+}
+
+TEST(SimulatorTest, SetInputOnNonInputThrows) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  EXPECT_THROW(sim.setInput(c.q[0], Logic::L1), std::invalid_argument);
+  EXPECT_THROW(sim.setInput("nonexistent", true), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ForceNetActsAsStuckAt) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.forceNet(c.q[0], Logic::L0);  // LSB stuck at 0: counts by evens only
+  sim.run(4);
+  EXPECT_EQ(sim.busValue(c.q) & 1u, 0u);
+  sim.releaseNet(c.q[0]);
+  sim.run(1);
+  // After release the flop's real state drives the net again.
+  EXPECT_NO_THROW((void)sim.busValue(c.q));
+}
+
+TEST(SimulatorTest, FlipFfInvertsState) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(2);  // q = 2
+  const auto ff0 = *c.n.findCell("c_0");
+  sim.flipFf(ff0);
+  sim.evalComb();
+  EXPECT_EQ(sim.busValue(c.q), 3u);
+}
+
+TEST(SimulatorTest, BridgeWiredAnd) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.input("a");
+  const auto c = b.input("b");
+  const auto y1 = b.bbuf(a);
+  const auto y2 = b.bbuf(c);
+  b.output("o1", y1);
+  b.output("o2", y2);
+  sm::Simulator sim(n);
+  sim.addBridge(y1, y2, sm::BridgeKind::WiredAnd);
+  sim.setInput(a, Logic::L1);
+  sim.setInput(c, Logic::L0);
+  sim.evalComb();
+  EXPECT_EQ(sim.value(y1), Logic::L0);
+  EXPECT_EQ(sim.value(y2), Logic::L0);
+  sim.clearBridges();
+  sim.evalComb();
+  EXPECT_EQ(sim.value(y1), Logic::L1);
+}
+
+TEST(SimulatorTest, StaleSamplingDelaysCapture) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto d = b.input("d");
+  const auto q = n.addNet("q");
+  const auto ff = n.addDff("r", d, q);
+  b.output("o", q);
+  sm::Simulator sim(n);
+  sim.setStaleSampling(ff, true);
+  sim.setInput(d, Logic::L1);
+  sim.step();  // captures the *previous* D (X at init -> stays X/0-ish)
+  sim.setInput(d, Logic::L0);
+  sim.step();  // captures previous D = 1
+  EXPECT_EQ(sim.ffState(ff), Logic::L1);
+}
+
+TEST(SimulatorTest, MemorySynchronousReadWrite) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 2);
+  const auto d = b.inputBus("d", 8);
+  const auto we = b.input("we");
+  nl::Bus r(8);
+  for (int i = 0; i < 8; ++i) r[i] = n.addNet("r" + std::to_string(i));
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 2;
+  m.dataBits = 8;
+  m.addr = a;
+  m.wdata = d;
+  m.rdata = r;
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  b.outputBus("q", r);
+  n.check();
+
+  sm::Simulator sim(n);
+  sim.setInputBus(a, 2);
+  sim.setInputBus(d, 0x5A);
+  sim.setInput(we, Logic::L1);
+  sim.step();  // write 0x5A @2; read data registers the *old* content
+  sim.setInput(we, Logic::L0);
+  sim.step();  // read @2
+  EXPECT_EQ(sim.busValue(r), 0x5Au);
+  EXPECT_EQ(sim.memory(0).peek(2), 0x5Au);
+}
+
+TEST(SimulatorTest, ObserverRunsEachCycle) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  int calls = 0;
+  sim.addObserver([&calls](sm::Simulator&) { ++calls; });
+  sim.run(6);
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(SimulatorTest, UnknownEnablePoisonsState) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto d = b.input("d");
+  const auto en = b.input("en");
+  const auto q = n.addNet("q");
+  const auto ff = n.addDff("r", d, q, en);
+  b.output("o", q);
+  sm::Simulator sim(n);
+  sim.setInput(d, Logic::L1);
+  sim.setInput(en, Logic::LX);
+  sim.step();
+  EXPECT_EQ(sim.ffState(ff), Logic::LX);
+}
+
+// ---------------------------------------------------------------------------
+// VCD tracing
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, EmitsHeaderAndChanges) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  std::ostringstream out;
+  sm::VcdTrace trace(out, sim, {c.q[0], c.q[1]});
+  sim.addObserver([&trace](sm::Simulator&) { trace.sample(); });
+  sim.setInput(c.rst, Logic::L0);
+  sim.setInput(c.en, Logic::L1);
+  sim.run(4);
+  const std::string vcd = out.str();
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);  // a change after cycle 0
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  sm::Rng a(42);
+  sm::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  sm::Rng a(1);
+  sm::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  sm::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformRoughlyCentered) {
+  sm::Rng r(99);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  sm::Rng a(5);
+  sm::Rng f = a.fork();
+  EXPECT_NE(a.next(), f.next());
+}

@@ -1,0 +1,170 @@
+// Tests for the structural netlist text format: parsing, diagnostics, and
+// write/read round-trips.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/text_format.hpp"
+#include "sim/simulator.hpp"
+
+namespace nl = socfmea::netlist;
+
+TEST(TextFormatTest, ParsesSimpleDesign) {
+  const auto n = nl::readNetlistString(R"(
+design demo
+input a
+input b
+and g1 w a b     # comment after statement
+output y w
+)");
+  EXPECT_EQ(n.name(), "demo");
+  EXPECT_EQ(n.gateCount(), 1u);
+  EXPECT_TRUE(n.findNet("w").has_value());
+}
+
+TEST(TextFormatTest, ParsesDffWithAttributes) {
+  const auto n = nl::readNetlistString(R"(
+input d
+input en
+input rst
+dff r q d en=en rst=rst init=1
+output o q
+)");
+  const auto id = n.findCell("r");
+  ASSERT_TRUE(id.has_value());
+  const auto& c = n.cell(*id);
+  EXPECT_TRUE(c.dffInit);
+  EXPECT_NE(c.inputs[nl::DffPins::kEn], nl::kNoNet);
+  EXPECT_NE(c.inputs[nl::DffPins::kRst], nl::kNoNet);
+}
+
+TEST(TextFormatTest, ParsesMemory) {
+  const auto n = nl::readNetlistString(R"(
+input a0
+input a1
+input d0
+input we
+memory m addr=a0,a1 wdata=d0 rdata=r0 we=we
+output o r0
+)");
+  ASSERT_EQ(n.memoryCount(), 1u);
+  EXPECT_EQ(n.memory(0).addrBits, 2u);
+  EXPECT_EQ(n.memory(0).dataBits, 1u);
+}
+
+TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)nl::readNetlistString("design d\nbogus x y\n");
+    FAIL() << "expected ParseError";
+  } catch (const nl::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(TextFormatTest, RejectsUnknownStatement) {
+  EXPECT_THROW((void)nl::readNetlistString("latch l q d\n"), nl::ParseError);
+}
+
+TEST(TextFormatTest, RejectsBadDffInit) {
+  EXPECT_THROW((void)nl::readNetlistString("input d\ndff r q d init=2\n"),
+               nl::ParseError);
+}
+
+TEST(TextFormatTest, RejectsMemoryWithoutWe) {
+  EXPECT_THROW(
+      (void)nl::readNetlistString("input a\ninput d\n"
+                                  "memory m addr=a wdata=d rdata=r\n"
+                                  "output o r\n"),
+      nl::ParseError);
+}
+
+TEST(TextFormatTest, RejectsDanglingNet) {
+  // check() runs at end of parse: w has no driver.
+  EXPECT_THROW((void)nl::readNetlistString("input a\nand g y a w\noutput o y\n"),
+               nl::NetlistError);
+}
+
+TEST(TextFormatTest, RoundTripPreservesStructure) {
+  nl::Netlist n("rt");
+  nl::Builder b(n);
+  const auto d = b.inputBus("d", 4);
+  const auto en = b.input("en");
+  const auto rst = b.input("rst");
+  const auto q = b.registerBus("r", d, en, rst, 0b1010);
+  const auto p = b.reduceXor(q);
+  b.output("par", p);
+  b.outputBus("q", q);
+  n.check();
+
+  const std::string text = nl::writeNetlistString(n);
+  const auto n2 = nl::readNetlistString(text);
+  const auto s1 = nl::computeStats(n);
+  const auto s2 = nl::computeStats(n2);
+  EXPECT_EQ(n2.name(), "rt");
+  EXPECT_EQ(s1.gates, s2.gates);
+  EXPECT_EQ(s1.flipFlops, s2.flipFlops);
+  EXPECT_EQ(s1.primaryInputs, s2.primaryInputs);
+  EXPECT_EQ(s1.primaryOutputs, s2.primaryOutputs);
+  EXPECT_EQ(s1.maxDepth, s2.maxDepth);
+  // Init values survive.
+  const auto r1 = n2.findCell("r_1");
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_TRUE(n2.cell(*r1).dffInit);
+  const auto r0 = n2.findCell("r_0");
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_FALSE(n2.cell(*r0).dffInit);
+}
+
+TEST(TextFormatTest, RoundTripWithMemory) {
+  nl::Netlist n("rtm");
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 3);
+  const auto d = b.inputBus("d", 8);
+  const auto we = b.input("we");
+  nl::Bus r(8);
+  for (int i = 0; i < 8; ++i) r[i] = n.addNet("r_" + std::to_string(i));
+  nl::MemoryInst m;
+  m.name = "mem";
+  m.addrBits = 3;
+  m.dataBits = 8;
+  m.addr = a;
+  m.wdata = d;
+  m.rdata = r;
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  b.outputBus("q", r);
+  n.check();
+
+  const auto n2 = nl::readNetlistString(nl::writeNetlistString(n));
+  ASSERT_EQ(n2.memoryCount(), 1u);
+  EXPECT_EQ(n2.memory(0).addrBits, 3u);
+  EXPECT_EQ(n2.memory(0).dataBits, 8u);
+}
+
+TEST(TextFormatTest, RoundTripBehaviourallyEquivalent) {
+  // Build a small counter, round-trip it, simulate both, compare outputs.
+  nl::Netlist n("cnt");
+  nl::Builder b(n);
+  const auto rst = b.input("rst");
+  nl::Bus q(4);
+  for (int i = 0; i < 4; ++i) q[i] = n.addNet("q" + std::to_string(i));
+  const auto inc = b.incrementer(q);
+  for (int i = 0; i < 4; ++i) {
+    n.addDff("c_" + std::to_string(i), inc[i], q[i], nl::kNoNet, rst, false);
+  }
+  b.outputBus("count", q);
+  n.check();
+  const auto n2 = nl::readNetlistString(nl::writeNetlistString(n));
+
+  socfmea::sim::Simulator s1(n);
+  socfmea::sim::Simulator s2(n2);
+  const auto o1 = *n.findNet("q3");
+  const auto o2 = *n2.findNet("q3");
+  s1.setInput("rst", false);
+  s2.setInput("rst", false);
+  for (int c = 0; c < 20; ++c) {
+    s1.step();
+    s2.step();
+    EXPECT_EQ(s1.value(o1), s2.value(o2)) << "cycle " << c;
+  }
+}

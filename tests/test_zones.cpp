@@ -1,0 +1,322 @@
+// Tests for the sensible-zone layer: extraction (compaction, sub-blocks,
+// critical nets, I/O, memories), cone statistics, fault-scope
+// classification, the correlation matrix and the effects model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/builder.hpp"
+#include "zones/correlation.hpp"
+#include "zones/effects.hpp"
+#include "zones/extract.hpp"
+
+namespace nl = socfmea::netlist;
+namespace zn = socfmea::zones;
+
+namespace {
+
+// Reference design:
+//   din[4] -> u_a/reg (4b, compactable) -> xor-reduce -> u_b/acc (1b)
+//   acc -> out; plus an alarm comparator (acc vs reduce) -> alarm_par.
+//   A shared inverter feeds both registers' enable cones (a wide site).
+struct RefDesign {
+  nl::Netlist n{"ref"};
+  nl::NetId rst, en;
+  nl::Bus din, regQ;
+  nl::NetId accQ;
+  nl::CellId sharedInv;
+
+  RefDesign() {
+    nl::Builder b(n);
+    rst = b.input("rst");
+    en = b.input("en");
+    din = b.inputBus("din", 4);
+    const auto enInv = b.bnot(en);  // shared by both zones' cones
+    sharedInv = n.net(enInv).driver;
+    const auto enBoth = b.bnot(enInv);
+    regQ = b.registerBus("u_a/reg", din, enBoth, rst, 0);
+    const auto red = b.reduceXor(regQ);
+    accQ = b.dff("u_b/acc", red, enBoth, rst, false);
+    b.output("out", accQ);
+    const auto alarm = b.bxor(accQ, red);
+    b.output("alarm_par", alarm);
+    n.check();
+  }
+};
+
+zn::ZoneId zoneByName(const zn::ZoneDatabase& db, std::string_view name) {
+  const auto z = db.findZone(name);
+  EXPECT_TRUE(z.has_value()) << name;
+  return z.value_or(0);
+}
+
+}  // namespace
+
+TEST(ExtractTest, CompactsRegistersByStem) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const auto reg = db.findZone("u_a/reg");
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(db.zone(*reg).ffs.size(), 4u);
+  EXPECT_EQ(db.zone(*reg).kind, zn::ZoneKind::Register);
+}
+
+TEST(ExtractTest, NoCompactionYieldsPerBitZones) {
+  RefDesign d;
+  zn::ExtractOptions opt;
+  opt.compactRegisters = false;
+  const auto db = zn::extractZones(d.n, opt);
+  EXPECT_TRUE(db.findZone("u_a/reg_0").has_value());
+  EXPECT_TRUE(db.findZone("u_a/reg_3").has_value());
+  EXPECT_FALSE(db.findZone("u_a/reg").has_value());
+}
+
+TEST(ExtractTest, SubBlockAbsorbsItsFlipFlops) {
+  RefDesign d;
+  zn::ExtractOptions opt;
+  opt.subBlockPrefixes = {"u_a"};
+  const auto db = zn::extractZones(d.n, opt);
+  const auto blk = db.findZone("u_a");
+  ASSERT_TRUE(blk.has_value());
+  EXPECT_EQ(db.zone(*blk).kind, zn::ZoneKind::SubBlock);
+  EXPECT_EQ(db.zone(*blk).ffs.size(), 4u);
+  EXPECT_FALSE(db.findZone("u_a/reg").has_value());
+  // u_b is not a sub-block: stays a register zone.
+  EXPECT_TRUE(db.findZone("u_b/acc").has_value());
+}
+
+TEST(ExtractTest, PrimaryIoBecomesZones) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  std::size_t pis = 0;
+  std::size_t pos = 0;
+  for (const auto& z : db.zones()) {
+    if (z.kind == zn::ZoneKind::PrimaryInput) ++pis;
+    if (z.kind == zn::ZoneKind::PrimaryOutput) ++pos;
+  }
+  EXPECT_EQ(pis, 6u);  // rst, en, din[4]
+  EXPECT_EQ(pos, 2u);  // out, alarm_par
+}
+
+TEST(ExtractTest, CriticalNetByFanout) {
+  RefDesign d;
+  zn::ExtractOptions opt;
+  opt.criticalNetFanout = 5;  // the shared enable feeds 5 flops
+  const auto db = zn::extractZones(d.n, opt);
+  bool found = false;
+  for (const auto& z : db.zones()) {
+    if (z.kind == zn::ZoneKind::CriticalNet) found = true;
+  }
+  EXPECT_TRUE(found);
+  zn::ExtractOptions off;
+  off.criticalNetFanout = 0;
+  const auto db2 = zn::extractZones(d.n, off);
+  for (const auto& z : db2.zones()) {
+    EXPECT_NE(z.kind, zn::ZoneKind::CriticalNet);
+  }
+}
+
+TEST(ExtractTest, ConeStatsPopulated) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const auto acc = zoneByName(db, "u_b/acc");
+  const auto& z = db.zone(acc);
+  EXPECT_GT(z.stats.gateCount, 0u);   // the xor-reduce tree
+  EXPECT_EQ(z.stats.supportFfs, 4u);  // fed by the 4 reg bits
+}
+
+TEST(ExtractTest, MemoryZone) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 2);
+  const auto din = b.inputBus("d", 4);
+  const auto we = b.input("we");
+  nl::Bus r(4);
+  for (int i = 0; i < 4; ++i) r[i] = n.addNet("r" + std::to_string(i));
+  nl::MemoryInst m;
+  m.name = "u_mem";
+  m.addrBits = 2;
+  m.dataBits = 4;
+  m.addr = a;
+  m.wdata = din;
+  m.rdata = r;
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  b.outputBus("q", r);
+  const auto db = zn::extractZones(n);
+  const auto mz = db.findZone("u_mem");
+  ASSERT_TRUE(mz.has_value());
+  EXPECT_EQ(db.zone(*mz).kind, zn::ZoneKind::Memory);
+  EXPECT_EQ(db.zone(*mz).valueNets.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// classification
+// ---------------------------------------------------------------------------
+
+TEST(ZoneDbTest, SharedGateClassifiedWide) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  // The shared inverter feeds the cones of both register zones.
+  const auto scope = db.classifySite(d.sharedInv);
+  EXPECT_TRUE(scope == zn::FaultScope::Wide || scope == zn::FaultScope::Global);
+}
+
+TEST(ZoneDbTest, CensusAccountsEveryGate) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const auto census = db.census();
+  std::size_t comb = 0;
+  for (const auto& c : d.n.cells()) {
+    if (nl::isCombinational(c.type)) ++comb;
+  }
+  EXPECT_EQ(census.local + census.wide + census.global + census.unassigned,
+            comb);
+}
+
+TEST(ZoneDbTest, ZoneOfFfResolves) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const auto reg = zoneByName(db, "u_a/reg");
+  for (nl::CellId ff : db.zone(reg).ffs) {
+    EXPECT_EQ(db.zoneOfFf(ff), reg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// correlation
+// ---------------------------------------------------------------------------
+
+TEST(CorrelationTest, SharedGatesSymmetric) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::CorrelationMatrix corr(db);
+  const auto a = zoneByName(db, "u_a/reg");
+  const auto b = zoneByName(db, "u_b/acc");
+  EXPECT_EQ(corr.sharedGates(a, b), corr.sharedGates(b, a));
+  EXPECT_GE(corr.sharedGates(a, b), 1u);  // at least the shared inverter
+}
+
+TEST(CorrelationTest, SelfSharingEqualsConeSize) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::CorrelationMatrix corr(db);
+  const auto a = zoneByName(db, "u_a/reg");
+  EXPECT_EQ(corr.sharedGates(a, a), db.zone(a).cone.gates.size());
+  EXPECT_DOUBLE_EQ(corr.overlap(a, a), 1.0);
+}
+
+TEST(CorrelationTest, TopPairsSortedDescending) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::CorrelationMatrix corr(db);
+  const auto pairs = corr.topPairs(1);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].shared, pairs[i].shared);
+  }
+}
+
+TEST(CorrelationTest, CorrelatedWithListsPartners) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::CorrelationMatrix corr(db);
+  const auto a = zoneByName(db, "u_a/reg");
+  const auto b = zoneByName(db, "u_b/acc");
+  const auto partners = corr.correlatedWith(a);
+  EXPECT_TRUE(std::find(partners.begin(), partners.end(), b) !=
+              partners.end());
+}
+
+// ---------------------------------------------------------------------------
+// effects model
+// ---------------------------------------------------------------------------
+
+TEST(EffectsTest, AlarmOutputsClassified) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::EffectsModel fx(db, {"alarm_"});
+  EXPECT_EQ(fx.alarmPoints().size(), 1u);
+  EXPECT_EQ(fx.functionalPoints().size(), 1u);
+  EXPECT_EQ(fx.point(fx.alarmPoints()[0]).name, "alarm_par");
+}
+
+TEST(EffectsTest, MainVsSecondaryEffects) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::EffectsModel fx(db, {"alarm_"});
+  const auto acc = zoneByName(db, "u_b/acc");
+  const auto reg = zoneByName(db, "u_a/reg");
+  const auto out =
+      std::find_if(fx.points().begin(), fx.points().end(),
+                   [](const auto& p) { return p.name == "out"; });
+  ASSERT_NE(out, fx.points().end());
+  // acc drives `out` combinationally: main effect.
+  EXPECT_EQ(fx.effectsOf(acc)[out->id], zn::EffectClass::Main);
+  // reg reaches `out` only through acc: secondary effect.
+  EXPECT_EQ(fx.effectsOf(reg)[out->id], zn::EffectClass::Secondary);
+}
+
+TEST(EffectsTest, AlarmReachability) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::EffectsModel fx(db, {"alarm_"});
+  EXPECT_TRUE(fx.alarmReachable(zoneByName(db, "u_a/reg")));
+  EXPECT_TRUE(fx.alarmReachable(zoneByName(db, "u_b/acc")));
+}
+
+TEST(EffectsTest, UnreachableZoneHasNoEffect) {
+  // An isolated register that drives nothing observable.
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.input("a");
+  const auto q = b.dff("dead", a);
+  const auto q2 = b.dff("live", a);
+  (void)q;
+  b.output("out", q2);
+  const auto db = zn::extractZones(n);
+  const zn::EffectsModel fx(db, {});
+  const auto dead = zoneByName(db, "dead");
+  for (const auto cls : fx.effectsOf(dead)) {
+    EXPECT_EQ(cls, zn::EffectClass::None);
+  }
+  EXPECT_FALSE(fx.alarmReachable(dead));
+}
+
+TEST(EffectsTest, ZonesAsObservationPoints) {
+  RefDesign d;
+  const auto db = zn::extractZones(d.n);
+  const zn::EffectsModel fx(db, {"alarm_"}, /*zonesAsObservationPoints=*/true);
+  // Register/sub-block zones appear as additional observation points.
+  bool zonePoint = false;
+  for (const auto& p : fx.points()) {
+    if (p.kind == zn::ObsKind::Zone) zonePoint = true;
+  }
+  EXPECT_TRUE(zonePoint);
+}
+
+TEST(ExtractTest, LogicalEntityZoneFromNamedNets) {
+  // The paper's example: a "logical entity that can or cannot directly map
+  // to a memory element" — here, the XOR-reduce value feeding the
+  // accumulator (a pure-combinational field).
+  RefDesign d;
+  zn::ExtractOptions opt;
+  zn::LogicalEntitySpec spec;
+  spec.name = "parity_field";
+  // The reduce-xor output feeds u_b/acc's D pin: find it via the acc cell.
+  const auto acc = *d.n.findCell("u_b/acc");
+  const auto dNet = d.n.cell(acc).inputs[nl::DffPins::kD];
+  spec.nets = {d.n.net(dNet).name};
+  opt.logicalEntities = {spec};
+  const auto db = zn::extractZones(d.n, opt);
+  const auto z = db.findZone("parity_field");
+  ASSERT_TRUE(z.has_value());
+  EXPECT_EQ(db.zone(*z).kind, zn::ZoneKind::LogicalEntity);
+  EXPECT_GT(db.zone(*z).stats.gateCount, 0u);  // the xor tree converges here
+}
+
+TEST(ExtractTest, LogicalEntityUnknownNetRejected) {
+  RefDesign d;
+  zn::ExtractOptions opt;
+  opt.logicalEntities = {{"bogus", {"no_such_net"}}};
+  EXPECT_THROW((void)zn::extractZones(d.n, opt), nl::NetlistError);
+}
