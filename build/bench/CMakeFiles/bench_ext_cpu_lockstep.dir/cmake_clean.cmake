@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cpu_lockstep.dir/bench_ext_cpu_lockstep.cpp.o"
+  "CMakeFiles/bench_ext_cpu_lockstep.dir/bench_ext_cpu_lockstep.cpp.o.d"
+  "bench_ext_cpu_lockstep"
+  "bench_ext_cpu_lockstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cpu_lockstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_cpu_lockstep.
+# This may be replaced when dependencies are built.

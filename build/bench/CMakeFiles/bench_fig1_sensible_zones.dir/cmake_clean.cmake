@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_sensible_zones.dir/bench_fig1_sensible_zones.cpp.o"
+  "CMakeFiles/bench_fig1_sensible_zones.dir/bench_fig1_sensible_zones.cpp.o.d"
+  "bench_fig1_sensible_zones"
+  "bench_fig1_sensible_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_sensible_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

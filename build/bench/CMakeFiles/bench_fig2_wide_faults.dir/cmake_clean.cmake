@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_wide_faults.dir/bench_fig2_wide_faults.cpp.o"
+  "CMakeFiles/bench_fig2_wide_faults.dir/bench_fig2_wide_faults.cpp.o.d"
+  "bench_fig2_wide_faults"
+  "bench_fig2_wide_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_wide_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

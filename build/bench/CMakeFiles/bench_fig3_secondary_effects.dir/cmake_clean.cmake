@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_secondary_effects.dir/bench_fig3_secondary_effects.cpp.o"
+  "CMakeFiles/bench_fig3_secondary_effects.dir/bench_fig3_secondary_effects.cpp.o.d"
+  "bench_fig3_secondary_effects"
+  "bench_fig3_secondary_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_secondary_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

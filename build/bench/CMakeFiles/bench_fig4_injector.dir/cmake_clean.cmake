@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_injector.dir/bench_fig4_injector.cpp.o"
+  "CMakeFiles/bench_fig4_injector.dir/bench_fig4_injector.cpp.o.d"
+  "bench_fig4_injector"
+  "bench_fig4_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memsys.dir/bench_fig5_memsys.cpp.o"
+  "CMakeFiles/bench_fig5_memsys.dir/bench_fig5_memsys.cpp.o.d"
+  "bench_fig5_memsys"
+  "bench_fig5_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

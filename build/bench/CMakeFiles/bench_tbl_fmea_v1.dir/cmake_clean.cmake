@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_fmea_v1.dir/bench_tbl_fmea_v1.cpp.o"
+  "CMakeFiles/bench_tbl_fmea_v1.dir/bench_tbl_fmea_v1.cpp.o.d"
+  "bench_tbl_fmea_v1"
+  "bench_tbl_fmea_v1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_fmea_v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tbl_fmea_v1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_iec_dc.dir/bench_tbl_iec_dc.cpp.o"
+  "CMakeFiles/bench_tbl_iec_dc.dir/bench_tbl_iec_dc.cpp.o.d"
+  "bench_tbl_iec_dc"
+  "bench_tbl_iec_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_iec_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

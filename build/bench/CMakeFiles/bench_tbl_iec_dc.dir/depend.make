@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tbl_iec_dc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_sensitivity.dir/bench_tbl_sensitivity.cpp.o"
+  "CMakeFiles/bench_tbl_sensitivity.dir/bench_tbl_sensitivity.cpp.o.d"
+  "bench_tbl_sensitivity"
+  "bench_tbl_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_sff_v1_v2.dir/bench_tbl_sff_v1_v2.cpp.o"
+  "CMakeFiles/bench_tbl_sff_v1_v2.dir/bench_tbl_sff_v1_v2.cpp.o.d"
+  "bench_tbl_sff_v1_v2"
+  "bench_tbl_sff_v1_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_sff_v1_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

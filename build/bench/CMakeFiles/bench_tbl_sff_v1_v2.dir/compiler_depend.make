@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tbl_sff_v1_v2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_sil.dir/bench_tbl_sil.cpp.o"
+  "CMakeFiles/bench_tbl_sil.dir/bench_tbl_sil.cpp.o.d"
+  "bench_tbl_sil"
+  "bench_tbl_sil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_sil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

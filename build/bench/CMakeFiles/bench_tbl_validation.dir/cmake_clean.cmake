@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_validation.dir/bench_tbl_validation.cpp.o"
+  "CMakeFiles/bench_tbl_validation.dir/bench_tbl_validation.cpp.o.d"
+  "bench_tbl_validation"
+  "bench_tbl_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_lockstep_fmea.dir/cpu_lockstep_fmea.cpp.o"
+  "CMakeFiles/cpu_lockstep_fmea.dir/cpu_lockstep_fmea.cpp.o.d"
+  "cpu_lockstep_fmea"
+  "cpu_lockstep_fmea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_lockstep_fmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/injection_campaign.cpp" "examples/CMakeFiles/injection_campaign.dir/injection_campaign.cpp.o" "gcc" "examples/CMakeFiles/injection_campaign.dir/injection_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

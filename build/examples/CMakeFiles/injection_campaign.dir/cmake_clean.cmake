@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_campaign.dir/injection_campaign.cpp.o"
+  "CMakeFiles/injection_campaign.dir/injection_campaign.cpp.o.d"
+  "injection_campaign"
+  "injection_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_sil3_flow.dir/memsys_sil3_flow.cpp.o"
+  "CMakeFiles/memsys_sil3_flow.dir/memsys_sil3_flow.cpp.o.d"
+  "memsys_sil3_flow"
+  "memsys_sil3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_sil3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_tool.dir/netlist_tool.cpp.o"
+  "CMakeFiles/netlist_tool.dir/netlist_tool.cpp.o.d"
+  "netlist_tool"
+  "netlist_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_explorer.dir/sensitivity_explorer.cpp.o"
+  "CMakeFiles/sensitivity_explorer.dir/sensitivity_explorer.cpp.o.d"
+  "sensitivity_explorer"
+  "sensitivity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cpu_lockstep "/root/repo/build/examples/cpu_lockstep_fmea")
+set_tests_properties(example_cpu_lockstep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_injection_campaign "/root/repo/build/examples/injection_campaign")
+set_tests_properties(example_injection_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_netlist_tool_roundtrip "/usr/bin/cmake" "-DTOOL=/root/repo/build/examples/netlist_tool" "-DWORK=/root/repo/build/examples" "-P" "/root/repo/examples/netlist_tool_check.cmake")
+set_tests_properties(example_netlist_tool_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

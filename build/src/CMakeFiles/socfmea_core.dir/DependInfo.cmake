@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/socfmea_core.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/socfmea_core.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/flow_report.cpp" "src/CMakeFiles/socfmea_core.dir/core/flow_report.cpp.o" "gcc" "src/CMakeFiles/socfmea_core.dir/core/flow_report.cpp.o.d"
+  "/root/repo/src/core/frmem_config.cpp" "src/CMakeFiles/socfmea_core.dir/core/frmem_config.cpp.o" "gcc" "src/CMakeFiles/socfmea_core.dir/core/frmem_config.cpp.o.d"
+  "/root/repo/src/core/srs.cpp" "src/CMakeFiles/socfmea_core.dir/core/srs.cpp.o" "gcc" "src/CMakeFiles/socfmea_core.dir/core/srs.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/CMakeFiles/socfmea_core.dir/core/validation.cpp.o" "gcc" "src/CMakeFiles/socfmea_core.dir/core/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_core.dir/core/flow.cpp.o"
+  "CMakeFiles/socfmea_core.dir/core/flow.cpp.o.d"
+  "CMakeFiles/socfmea_core.dir/core/flow_report.cpp.o"
+  "CMakeFiles/socfmea_core.dir/core/flow_report.cpp.o.d"
+  "CMakeFiles/socfmea_core.dir/core/frmem_config.cpp.o"
+  "CMakeFiles/socfmea_core.dir/core/frmem_config.cpp.o.d"
+  "CMakeFiles/socfmea_core.dir/core/srs.cpp.o"
+  "CMakeFiles/socfmea_core.dir/core/srs.cpp.o.d"
+  "CMakeFiles/socfmea_core.dir/core/validation.cpp.o"
+  "CMakeFiles/socfmea_core.dir/core/validation.cpp.o.d"
+  "libsocfmea_core.a"
+  "libsocfmea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/flow_config.cpp" "src/CMakeFiles/socfmea_cpu.dir/cpu/flow_config.cpp.o" "gcc" "src/CMakeFiles/socfmea_cpu.dir/cpu/flow_config.cpp.o.d"
+  "/root/repo/src/cpu/gatelevel.cpp" "src/CMakeFiles/socfmea_cpu.dir/cpu/gatelevel.cpp.o" "gcc" "src/CMakeFiles/socfmea_cpu.dir/cpu/gatelevel.cpp.o.d"
+  "/root/repo/src/cpu/isa.cpp" "src/CMakeFiles/socfmea_cpu.dir/cpu/isa.cpp.o" "gcc" "src/CMakeFiles/socfmea_cpu.dir/cpu/isa.cpp.o.d"
+  "/root/repo/src/cpu/tinycpu.cpp" "src/CMakeFiles/socfmea_cpu.dir/cpu/tinycpu.cpp.o" "gcc" "src/CMakeFiles/socfmea_cpu.dir/cpu/tinycpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_cpu.dir/cpu/flow_config.cpp.o"
+  "CMakeFiles/socfmea_cpu.dir/cpu/flow_config.cpp.o.d"
+  "CMakeFiles/socfmea_cpu.dir/cpu/gatelevel.cpp.o"
+  "CMakeFiles/socfmea_cpu.dir/cpu/gatelevel.cpp.o.d"
+  "CMakeFiles/socfmea_cpu.dir/cpu/isa.cpp.o"
+  "CMakeFiles/socfmea_cpu.dir/cpu/isa.cpp.o.d"
+  "CMakeFiles/socfmea_cpu.dir/cpu/tinycpu.cpp.o"
+  "CMakeFiles/socfmea_cpu.dir/cpu/tinycpu.cpp.o.d"
+  "libsocfmea_cpu.a"
+  "libsocfmea_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

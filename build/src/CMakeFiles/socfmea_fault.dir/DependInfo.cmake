@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/collapse.cpp" "src/CMakeFiles/socfmea_fault.dir/fault/collapse.cpp.o" "gcc" "src/CMakeFiles/socfmea_fault.dir/fault/collapse.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/socfmea_fault.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/socfmea_fault.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_list.cpp" "src/CMakeFiles/socfmea_fault.dir/fault/fault_list.cpp.o" "gcc" "src/CMakeFiles/socfmea_fault.dir/fault/fault_list.cpp.o.d"
+  "/root/repo/src/fault/harness.cpp" "src/CMakeFiles/socfmea_fault.dir/fault/harness.cpp.o" "gcc" "src/CMakeFiles/socfmea_fault.dir/fault/harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_fault.dir/fault/collapse.cpp.o"
+  "CMakeFiles/socfmea_fault.dir/fault/collapse.cpp.o.d"
+  "CMakeFiles/socfmea_fault.dir/fault/fault.cpp.o"
+  "CMakeFiles/socfmea_fault.dir/fault/fault.cpp.o.d"
+  "CMakeFiles/socfmea_fault.dir/fault/fault_list.cpp.o"
+  "CMakeFiles/socfmea_fault.dir/fault/fault_list.cpp.o.d"
+  "CMakeFiles/socfmea_fault.dir/fault/harness.cpp.o"
+  "CMakeFiles/socfmea_fault.dir/fault/harness.cpp.o.d"
+  "libsocfmea_fault.a"
+  "libsocfmea_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/bitsim.cpp" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/bitsim.cpp.o" "gcc" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/bitsim.cpp.o.d"
+  "/root/repo/src/faultsim/parallel.cpp" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/parallel.cpp.o" "gcc" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/parallel.cpp.o.d"
+  "/root/repo/src/faultsim/serial.cpp" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/serial.cpp.o" "gcc" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/serial.cpp.o.d"
+  "/root/repo/src/faultsim/toggle.cpp" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/toggle.cpp.o" "gcc" "src/CMakeFiles/socfmea_faultsim.dir/faultsim/toggle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/bitsim.cpp.o"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/bitsim.cpp.o.d"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/parallel.cpp.o"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/parallel.cpp.o.d"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/serial.cpp.o"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/serial.cpp.o.d"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/toggle.cpp.o"
+  "CMakeFiles/socfmea_faultsim.dir/faultsim/toggle.cpp.o.d"
+  "libsocfmea_faultsim.a"
+  "libsocfmea_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmea/failure_modes.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/failure_modes.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/failure_modes.cpp.o.d"
+  "/root/repo/src/fmea/fit_model.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/fit_model.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/fit_model.cpp.o.d"
+  "/root/repo/src/fmea/iec61508.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/iec61508.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/iec61508.cpp.o.d"
+  "/root/repo/src/fmea/report.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/report.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/report.cpp.o.d"
+  "/root/repo/src/fmea/sensitivity.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/sensitivity.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/sensitivity.cpp.o.d"
+  "/root/repo/src/fmea/sheet.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/sheet.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/sheet.cpp.o.d"
+  "/root/repo/src/fmea/techniques.cpp" "src/CMakeFiles/socfmea_fmea.dir/fmea/techniques.cpp.o" "gcc" "src/CMakeFiles/socfmea_fmea.dir/fmea/techniques.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

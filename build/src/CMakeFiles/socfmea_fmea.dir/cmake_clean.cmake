@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_fmea.dir/fmea/failure_modes.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/failure_modes.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/fit_model.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/fit_model.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/iec61508.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/iec61508.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/report.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/report.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/sensitivity.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/sensitivity.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/sheet.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/sheet.cpp.o.d"
+  "CMakeFiles/socfmea_fmea.dir/fmea/techniques.cpp.o"
+  "CMakeFiles/socfmea_fmea.dir/fmea/techniques.cpp.o.d"
+  "libsocfmea_fmea.a"
+  "libsocfmea_fmea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_fmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for socfmea_fmea.
+# This may be replaced when dependencies are built.

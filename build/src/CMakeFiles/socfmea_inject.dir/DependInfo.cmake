@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/analyzer.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/analyzer.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/analyzer.cpp.o.d"
+  "/root/repo/src/inject/coverage.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/coverage.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/coverage.cpp.o.d"
+  "/root/repo/src/inject/env_builder.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/env_builder.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/env_builder.cpp.o.d"
+  "/root/repo/src/inject/manager.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/manager.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/manager.cpp.o.d"
+  "/root/repo/src/inject/monitors.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/monitors.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/monitors.cpp.o.d"
+  "/root/repo/src/inject/profile.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/profile.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/profile.cpp.o.d"
+  "/root/repo/src/inject/workload.cpp" "src/CMakeFiles/socfmea_inject.dir/inject/workload.cpp.o" "gcc" "src/CMakeFiles/socfmea_inject.dir/inject/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

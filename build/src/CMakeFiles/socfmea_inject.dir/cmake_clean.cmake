@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_inject.dir/inject/analyzer.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/analyzer.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/coverage.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/coverage.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/env_builder.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/env_builder.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/manager.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/manager.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/monitors.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/monitors.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/profile.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/profile.cpp.o.d"
+  "CMakeFiles/socfmea_inject.dir/inject/workload.cpp.o"
+  "CMakeFiles/socfmea_inject.dir/inject/workload.cpp.o.d"
+  "libsocfmea_inject.a"
+  "libsocfmea_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

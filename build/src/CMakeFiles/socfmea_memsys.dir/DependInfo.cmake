@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/ahb.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/ahb.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/ahb.cpp.o.d"
+  "/root/repo/src/memsys/decoder_pipeline.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/decoder_pipeline.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/decoder_pipeline.cpp.o.d"
+  "/root/repo/src/memsys/fmem.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/fmem.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/fmem.cpp.o.d"
+  "/root/repo/src/memsys/gatelevel.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/gatelevel.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/gatelevel.cpp.o.d"
+  "/root/repo/src/memsys/hamming.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/hamming.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/hamming.cpp.o.d"
+  "/root/repo/src/memsys/mce.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/mce.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/mce.cpp.o.d"
+  "/root/repo/src/memsys/mem_controller.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/mem_controller.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/mem_controller.cpp.o.d"
+  "/root/repo/src/memsys/memory_array.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/memory_array.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/memory_array.cpp.o.d"
+  "/root/repo/src/memsys/mpu.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/mpu.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/mpu.cpp.o.d"
+  "/root/repo/src/memsys/scrubber.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/scrubber.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/scrubber.cpp.o.d"
+  "/root/repo/src/memsys/startup_tests.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/startup_tests.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/startup_tests.cpp.o.d"
+  "/root/repo/src/memsys/subsystem.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/subsystem.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/subsystem.cpp.o.d"
+  "/root/repo/src/memsys/workloads.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/workloads.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/workloads.cpp.o.d"
+  "/root/repo/src/memsys/write_buffer.cpp" "src/CMakeFiles/socfmea_memsys.dir/memsys/write_buffer.cpp.o" "gcc" "src/CMakeFiles/socfmea_memsys.dir/memsys/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_fmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_zones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

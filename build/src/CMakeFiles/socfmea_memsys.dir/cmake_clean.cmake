@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_memsys.dir/memsys/ahb.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/ahb.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/decoder_pipeline.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/decoder_pipeline.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/fmem.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/fmem.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/gatelevel.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/gatelevel.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/hamming.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/hamming.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mce.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mce.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mem_controller.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mem_controller.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/memory_array.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/memory_array.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mpu.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/mpu.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/scrubber.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/scrubber.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/startup_tests.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/startup_tests.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/subsystem.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/subsystem.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/workloads.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/workloads.cpp.o.d"
+  "CMakeFiles/socfmea_memsys.dir/memsys/write_buffer.cpp.o"
+  "CMakeFiles/socfmea_memsys.dir/memsys/write_buffer.cpp.o.d"
+  "libsocfmea_memsys.a"
+  "libsocfmea_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocfmea_memsys.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/cell.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/cell.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/levelize.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/text_format.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/text_format.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/text_format.cpp.o.d"
+  "/root/repo/src/netlist/traversal.cpp" "src/CMakeFiles/socfmea_netlist.dir/netlist/traversal.cpp.o" "gcc" "src/CMakeFiles/socfmea_netlist.dir/netlist/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_netlist.dir/netlist/builder.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/builder.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/cell.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/cell.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/levelize.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/levelize.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/stats.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/stats.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/text_format.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/text_format.cpp.o.d"
+  "CMakeFiles/socfmea_netlist.dir/netlist/traversal.cpp.o"
+  "CMakeFiles/socfmea_netlist.dir/netlist/traversal.cpp.o.d"
+  "libsocfmea_netlist.a"
+  "libsocfmea_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/logic4.cpp" "src/CMakeFiles/socfmea_sim.dir/sim/logic4.cpp.o" "gcc" "src/CMakeFiles/socfmea_sim.dir/sim/logic4.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/CMakeFiles/socfmea_sim.dir/sim/memory_model.cpp.o" "gcc" "src/CMakeFiles/socfmea_sim.dir/sim/memory_model.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/socfmea_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/socfmea_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/socfmea_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/socfmea_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/socfmea_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/socfmea_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

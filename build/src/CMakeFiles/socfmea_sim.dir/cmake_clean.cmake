@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_sim.dir/sim/logic4.cpp.o"
+  "CMakeFiles/socfmea_sim.dir/sim/logic4.cpp.o.d"
+  "CMakeFiles/socfmea_sim.dir/sim/memory_model.cpp.o"
+  "CMakeFiles/socfmea_sim.dir/sim/memory_model.cpp.o.d"
+  "CMakeFiles/socfmea_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/socfmea_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/socfmea_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/socfmea_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/socfmea_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/socfmea_sim.dir/sim/trace.cpp.o.d"
+  "libsocfmea_sim.a"
+  "libsocfmea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

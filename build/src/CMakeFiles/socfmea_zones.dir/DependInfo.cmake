@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zones/correlation.cpp" "src/CMakeFiles/socfmea_zones.dir/zones/correlation.cpp.o" "gcc" "src/CMakeFiles/socfmea_zones.dir/zones/correlation.cpp.o.d"
+  "/root/repo/src/zones/effects.cpp" "src/CMakeFiles/socfmea_zones.dir/zones/effects.cpp.o" "gcc" "src/CMakeFiles/socfmea_zones.dir/zones/effects.cpp.o.d"
+  "/root/repo/src/zones/extract.cpp" "src/CMakeFiles/socfmea_zones.dir/zones/extract.cpp.o" "gcc" "src/CMakeFiles/socfmea_zones.dir/zones/extract.cpp.o.d"
+  "/root/repo/src/zones/zone.cpp" "src/CMakeFiles/socfmea_zones.dir/zones/zone.cpp.o" "gcc" "src/CMakeFiles/socfmea_zones.dir/zones/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socfmea_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socfmea_zones.dir/zones/correlation.cpp.o"
+  "CMakeFiles/socfmea_zones.dir/zones/correlation.cpp.o.d"
+  "CMakeFiles/socfmea_zones.dir/zones/effects.cpp.o"
+  "CMakeFiles/socfmea_zones.dir/zones/effects.cpp.o.d"
+  "CMakeFiles/socfmea_zones.dir/zones/extract.cpp.o"
+  "CMakeFiles/socfmea_zones.dir/zones/extract.cpp.o.d"
+  "CMakeFiles/socfmea_zones.dir/zones/zone.cpp.o"
+  "CMakeFiles/socfmea_zones.dir/zones/zone.cpp.o.d"
+  "libsocfmea_zones.a"
+  "libsocfmea_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socfmea_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

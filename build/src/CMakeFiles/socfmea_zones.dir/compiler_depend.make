@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for socfmea_zones.
+# This may be replaced when dependencies are built.

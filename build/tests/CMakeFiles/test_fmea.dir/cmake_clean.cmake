@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmea.dir/test_fmea.cpp.o"
+  "CMakeFiles/test_fmea.dir/test_fmea.cpp.o.d"
+  "test_fmea"
+  "test_fmea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatelevel.dir/test_gatelevel.cpp.o"
+  "CMakeFiles/test_gatelevel.dir/test_gatelevel.cpp.o.d"
+  "test_gatelevel"
+  "test_gatelevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatelevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamming.dir/test_hamming.cpp.o"
+  "CMakeFiles/test_hamming.dir/test_hamming.cpp.o.d"
+  "test_hamming"
+  "test_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

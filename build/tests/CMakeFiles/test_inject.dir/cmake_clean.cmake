@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inject.dir/test_inject.cpp.o"
+  "CMakeFiles/test_inject.dir/test_inject.cpp.o.d"
+  "test_inject"
+  "test_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

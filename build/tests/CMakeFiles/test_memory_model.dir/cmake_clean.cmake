@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_model.dir/test_memory_model.cpp.o"
+  "CMakeFiles/test_memory_model.dir/test_memory_model.cpp.o.d"
+  "test_memory_model"
+  "test_memory_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys.dir/test_memsys.cpp.o"
+  "CMakeFiles/test_memsys.dir/test_memsys.cpp.o.d"
+  "test_memsys"
+  "test_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys_parts.dir/test_memsys_parts.cpp.o"
+  "CMakeFiles/test_memsys_parts.dir/test_memsys_parts.cpp.o.d"
+  "test_memsys_parts"
+  "test_memsys_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist.dir/test_netlist.cpp.o"
+  "CMakeFiles/test_netlist.dir/test_netlist.cpp.o.d"
+  "test_netlist"
+  "test_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_format.dir/test_text_format.cpp.o"
+  "CMakeFiles/test_text_format.dir/test_text_format.cpp.o.d"
+  "test_text_format"
+  "test_text_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zones.dir/test_zones.cpp.o"
+  "CMakeFiles/test_zones.dir/test_zones.cpp.o.d"
+  "test_zones"
+  "test_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
