@@ -1,0 +1,235 @@
+// Experiment CAMPAIGN: throughput of the parallel fault-injection campaign
+// engine vs the legacy serial oracle.  The engine fans the fault list over a
+// thread pool (one Simulator + lockstep monitors per worker) and forks each
+// transient fault from the golden checkpoint nearest below its injection
+// cycle, skipping the fault-free prefix entirely.  Outcomes are verified
+// bit-identical to the serial run before any timing is reported, and the
+// headline numbers land in BENCH_campaign.json for CI trend tracking.
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/thread_pool.hpp"
+#include "fault/collapse.hpp"
+#include "inject/analyzer.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+/// Which campaign flavour to fan out.  The paper's frmem protects against
+/// soft errors, so the transient (SEU/SET) campaign is the headline; the
+/// mixed one shows the permanent-fault fallback path (stuck-at faults are
+/// active from reset and must fully replay).
+enum class Mix { Transient, Mixed };
+
+struct Setup {
+  inject::InjectionEnvironment env;
+  memsys::ProtectionIpWorkload wl;
+  fault::FaultList faults;
+
+  Setup(std::uint64_t cycles, std::size_t nFaults, Mix mix)
+      : env(inject::EnvironmentBuilder(benchutil::frmem().flowV2.zones(),
+                                       benchutil::frmem().flowV2.effects())
+                .withSeed(4)
+                .withDetectionWindow(24)
+                .build()),
+        wl(benchutil::frmem().v2, benchutil::workloadOptions(cycles)) {
+    auto& f = benchutil::frmem();
+    const auto& db = f.flowV2.zones();
+    // Uncapped active-cycle window so transient injection cycles spread
+    // over the whole workload (the default 512-cycle cap would skew them
+    // toward the start and shrink the skippable prefix).
+    const auto profile =
+        inject::OperationalProfile::record(db, wl, wl.cycles());
+    fault::FaultList candidates = fault::allSeuFaults(f.v2.nl);
+    fault::append(candidates, fault::allSetFaults(f.v2.nl));
+    if (mix == Mix::Mixed) {
+      fault::append(candidates, fault::allStuckAtFaults(f.v2.nl));
+    }
+    inject::collapseAgainstProfile(db, profile, candidates);
+    faults = inject::randomizeFaultList(db, profile, candidates, nFaults, 4);
+  }
+};
+
+struct Measurement {
+  unsigned threads = 1;
+  double seconds = 0.0;
+  inject::CampaignResult result;
+};
+
+Measurement timedRun(inject::InjectionManager& mgr, Setup& s,
+                     unsigned threads) {
+  inject::CampaignOptions opt;
+  opt.threads = threads;
+  // Dense checkpoints: a forked transient wastes at most interval-1
+  // fault-free cycles.  ~40 snapshots of a 2k-cell design is a few MB.
+  opt.checkpointInterval = std::max<std::uint64_t>(1, s.wl.cycles() / 40);
+  Measurement m;
+  m.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  m.result = mgr.run(s.wl, s.faults, nullptr, opt);
+  m.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  return m;
+}
+
+struct CampaignNumbers {
+  Measurement serial;
+  Measurement four;  ///< the threads = 4 run (the acceptance target)
+  bool identical = true;
+};
+
+CampaignNumbers runCampaignTable(Setup& s, const char* label) {
+  auto& f = benchutil::frmem();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  std::size_t transients = 0;
+  for (const auto& ft : s.faults) transients += ft.transient() ? 1 : 0;
+  std::cout << "--- " << label << " campaign: " << s.faults.size()
+            << " faults (" << transients << " transient), " << s.wl.cycles()
+            << "-cycle workload ---\n";
+
+  CampaignNumbers n;
+  n.serial = timedRun(mgr, s, 1);
+  std::vector<Measurement> runs;
+  for (unsigned t : {2u, 4u, 0u}) runs.push_back(timedRun(mgr, s, t));
+
+  // Determinism gate: a speedup only counts if the verdicts are identical.
+  for (const auto& m : runs) {
+    if (m.result.records.size() != n.serial.result.records.size()) {
+      n.identical = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < n.serial.result.records.size(); ++i) {
+      if (m.result.records[i].outcome != n.serial.result.records[i].outcome) {
+        n.identical = false;
+      }
+    }
+  }
+  std::cout << "verdicts vs serial oracle: "
+            << (n.identical ? "IDENTICAL" : "** MISMATCH **") << "\n";
+
+  std::cout << "threads |  wall s | faults/s | speedup | ckpt hits | hit-rate"
+               " | converged | Mcycles simulated\n";
+  const auto row = [&](const Measurement& m) {
+    const double fps = static_cast<double>(s.faults.size()) / m.seconds;
+    const double hitRate = s.faults.empty()
+                               ? 0.0
+                               : static_cast<double>(m.result.checkpointHits) /
+                                     static_cast<double>(s.faults.size());
+    std::printf("%7u | %7.2f | %8.1f | %6.2fx | %9llu | %7.0f%% | %9llu | %.3f\n",
+                m.threads, m.seconds, fps, n.serial.seconds / m.seconds,
+                static_cast<unsigned long long>(m.result.checkpointHits),
+                hitRate * 100.0,
+                static_cast<unsigned long long>(m.result.convergedEarly),
+                static_cast<double>(m.result.cyclesSimulated) / 1e6);
+  };
+  row(n.serial);
+  for (const auto& m : runs) row(m);
+  std::cout << "\n";
+
+  n.four = runs[1];
+  return n;
+}
+
+void printTable() {
+  benchutil::banner("CAMPAIGN",
+                    "parallel campaign engine: speedup + checkpoint hit-rate");
+  auto& f = benchutil::frmem();
+  std::cout << "design frmem-v2 (" << f.v2.nl.cellCount() << " cells), "
+            << core::resolveThreadCount(0) << " hardware thread(s)\n\n";
+
+  // Headline: the soft-error campaign the paper's frmem exists to survive.
+  // Every SEU/SET forks from the golden checkpoint below its injection
+  // cycle instead of replaying the fault-free prefix.
+  Setup transient(1000, 96, Mix::Transient);
+  const CampaignNumbers head = runCampaignTable(transient, "transient (SEU/SET)");
+
+  // Mixed list: permanent faults are active from reset, so they take the
+  // cycle-0 fallback (full replay) — the speedup shrinks accordingly.
+  Setup mixed(1000, 96, Mix::Mixed);
+  runCampaignTable(mixed, "mixed (stuck-at + SEU/SET)");
+
+  const Setup& s = transient;
+  const Measurement& serial = head.serial;
+  const Measurement& four = head.four;
+  benchutil::JsonDump dump("BENCH_campaign.json");
+  dump.field("design", std::string("frmem-v2"))
+      .field("campaign", std::string("transient"))
+      .field("workload_cycles", s.wl.cycles())
+      .field("faults", static_cast<std::uint64_t>(s.faults.size()))
+      .field("identical_to_serial", std::string(head.identical ? "yes" : "no"))
+      .field("serial_wall_s", serial.seconds)
+      .field("serial_faults_per_s",
+             static_cast<double>(s.faults.size()) / serial.seconds)
+      .field("parallel4_wall_s", four.seconds)
+      .field("parallel4_faults_per_s",
+             static_cast<double>(s.faults.size()) / four.seconds)
+      .field("parallel4_speedup", serial.seconds / four.seconds)
+      .field("parallel4_checkpoint_hits", four.result.checkpointHits)
+      .field("parallel4_checkpoint_hit_rate",
+             static_cast<double>(four.result.checkpointHits) /
+                 static_cast<double>(s.faults.size()))
+      .field("parallel4_cycles_skipped", four.result.checkpointCyclesSkipped)
+      .field("parallel4_converged_early", four.result.convergedEarly)
+      .field("serial_cycles_simulated", serial.result.cyclesSimulated)
+      .field("parallel4_cycles_simulated", four.result.cyclesSimulated);
+  dump.write();
+}
+
+Setup& benchSetup() {
+  static Setup s(600, 24, Mix::Transient);
+  return s;
+}
+
+void BM_CampaignSerial(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  for (auto _ : state) {
+    const auto res = mgr.run(s.wl, s.faults);
+    benchmark::DoNotOptimize(res.records.size());
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignSerial)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignParallel(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions opt;
+  opt.threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto res = mgr.run(s.wl, s.faults, nullptr, opt);
+    benchmark::DoNotOptimize(res.records.size());
+    hits = res.checkpointHits;
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["ckpt_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_CampaignParallel)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  sim::Simulator sim(f.v2.nl);
+  const auto snap = sim.snapshot();
+  for (auto _ : state) {
+    sim.restore(snap);
+    auto s2 = sim.snapshot();
+    benchmark::DoNotOptimize(s2.cycle);
+  }
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

@@ -6,7 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/frmem_config.hpp"
 #include "memsys/workloads.hpp"
@@ -41,6 +46,54 @@ inline void banner(const char* experiment, const char* paperArtefact) {
             << "experiment " << experiment << " — " << paperArtefact << "\n"
             << "================================================================\n";
 }
+
+/// Flat JSON object written next to the bench binary (e.g.
+/// BENCH_campaign.json) so CI can diff headline numbers across runs
+/// without scraping stdout.  Number fields are emitted as-is; string
+/// fields are quoted (values must not need escaping).
+class JsonDump {
+ public:
+  explicit JsonDump(std::string path) : path_(std::move(path)) {}
+
+  JsonDump& field(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return raw(key, os.str());
+  }
+  JsonDump& field(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonDump& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+
+  /// Writes the accumulated fields; returns false (and warns) on IO error.
+  bool write() const {
+    std::ofstream out(path_);
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    if (!out) {
+      std::cerr << "warning: could not write " << path_ << "\n";
+      return false;
+    }
+    std::cout << "wrote " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  JsonDump& raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Emits the table then runs the registered google-benchmark timings.
 inline int runBench(int argc, char** argv, void (*printTable)()) {

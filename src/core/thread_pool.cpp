@@ -1,0 +1,92 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace socfmea::core {
+
+unsigned resolveThreadCount(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolveThreadCount(threads);
+  threads_.reserve(n - 1);
+  for (unsigned i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::runChunks(unsigned worker) {
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    const std::size_t end = std::min(begin + chunk_, count_);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*fn_)(worker, i);
+      } catch (...) {
+        std::lock_guard lk(m_);
+        if (!error_) error_ = std::current_exception();
+        // Abandon unclaimed work; chunks already claimed finish normally.
+        next_.store(count_, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::workerLoop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lk(m_);
+      wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    runChunks(worker);
+    {
+      std::lock_guard lk(m_);
+      if (--running_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count, std::size_t chunk,
+                             const IndexFn& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard lk(m_);
+    fn_ = &fn;
+    count_ = count;
+    chunk_ = std::max<std::size_t>(1, chunk);
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    running_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  wake_.notify_all();
+  runChunks(0);  // the caller is worker 0
+  std::unique_lock lk(m_);
+  done_.wait(lk, [&] { return running_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace socfmea::core

@@ -1,0 +1,69 @@
+// Small reusable thread pool for campaign-level parallelism.  Work is
+// claimed in chunks from a shared atomic counter (chunked self-scheduling):
+// a worker that finishes its chunk immediately steals the next unclaimed
+// range, so uneven per-item cost (early-aborted vs full-length fault
+// machines) balances itself without any static partitioning.
+//
+// The calling thread participates as worker 0, so a pool of size N uses
+// N OS threads total (N-1 spawned).  parallelFor blocks until every index
+// completed and rethrows the first exception a task threw.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socfmea::core {
+
+/// Resolves a `threads` knob: 0 = hardware concurrency, otherwise the value.
+[[nodiscard]] unsigned resolveThreadCount(unsigned requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks hardware concurrency.  The pool owns threads-1 OS
+  /// threads; the caller of parallelFor is the remaining worker.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers participating in parallelFor (spawned threads + the caller).
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// fn(worker, index): worker is a stable id in [0, size()) usable to index
+  /// per-worker state (simulators, collectors) without locking.
+  using IndexFn = std::function<void(unsigned worker, std::size_t index)>;
+
+  /// Runs fn for every index in [0, count), `chunk` indices per claim.
+  /// Not reentrant: one parallelFor at a time per pool.
+  void parallelFor(std::size_t count, std::size_t chunk, const IndexFn& fn);
+
+ private:
+  void workerLoop(unsigned worker);
+  void runChunks(unsigned worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  // Job state: written under m_ before generation_ bumps, read by workers
+  // after they observe the new generation under m_ (happens-before).
+  const IndexFn* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace socfmea::core

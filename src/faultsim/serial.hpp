@@ -25,6 +25,14 @@ struct FaultSimResult {
   std::size_t detected = 0;
   std::vector<FaultOutcome> outcomes;  ///< parallel to the input fault list
   std::uint64_t simulatedCycles = 0;   ///< total cycles across all machines
+  /// Machines forked from a golden checkpoint later than cycle 0 and the
+  /// fault-free prefix cycles that skipping saved (threaded engine only;
+  /// the serial oracle never checkpoints).
+  std::uint64_t checkpointHits = 0;
+  std::uint64_t checkpointCyclesSkipped = 0;
+  /// Transient faults dropped early because the faulty machine's state
+  /// reconverged with the golden run (threaded engine only).
+  std::uint64_t convergedEarly = 0;
 
   [[nodiscard]] double coverage() const noexcept {
     return total == 0 ? 1.0
@@ -38,6 +46,13 @@ struct FaultSimOptions {
   /// Stop a faulty machine at first divergence (classic fault-sim early
   /// abort); disable to count divergence cycles.
   bool earlyAbort = true;
+  /// runFaultSim parallelism: 1 = the serial engine below (the reference
+  /// oracle), 0 = hardware concurrency, N = N workers.  Verdicts are
+  /// bit-identical regardless of the value.
+  unsigned threads = 1;
+  /// Golden-checkpoint spacing for the threaded engine; 0 picks
+  /// max(1, workloadCycles / 16).  Ignored when threads = 1.
+  std::uint64_t checkpointInterval = 0;
 };
 
 /// Golden per-cycle values of the observed outputs.

@@ -1,0 +1,163 @@
+#include "faultsim/threaded.hpp"
+
+#include <algorithm>
+
+#include "core/thread_pool.hpp"
+
+namespace socfmea::faultsim {
+
+namespace {
+
+/// Everything the workers share read-only, recorded in ONE golden run.
+struct GoldenState {
+  GoldenTrace trace;
+  StimulusTrace stim;
+  std::uint64_t interval = 0;
+  std::vector<sim::Simulator::Snapshot> snaps;  ///< snaps[i] at cycle i*interval
+};
+
+GoldenState recordGoldenState(const netlist::Netlist& nl, sim::Workload& wl,
+                              const FaultSimOptions& opt) {
+  GoldenState g;
+  g.trace.outputs =
+      opt.observedOutputs.empty() ? nl.primaryOutputs() : opt.observedOutputs;
+  for (netlist::CellId po : g.trace.outputs) {
+    g.trace.nets.push_back(nl.cell(po).inputs[0]);
+  }
+  for (netlist::CellId pi : nl.primaryInputs()) {
+    g.stim.inputs.push_back(nl.cell(pi).output);
+  }
+  g.interval = opt.checkpointInterval != 0
+                   ? opt.checkpointInterval
+                   : std::max<std::uint64_t>(1, wl.cycles() / 16);
+
+  sim::Simulator sim(nl);
+  wl.restart();
+  sim.reset();
+  g.trace.values.reserve(wl.cycles());
+  g.stim.values.reserve(wl.cycles());
+  for (std::uint64_t c = 0; c < wl.cycles(); ++c) {
+    if (c % g.interval == 0) {
+      // State at the top of cycle c, where a forked machine resumes.
+      g.snaps.push_back(sim.snapshot());
+    }
+    wl.drive(sim, c);
+    wl.backdoor(sim, c);
+    sim.evalComb();
+    std::vector<bool> inRow;
+    inRow.reserve(g.stim.inputs.size());
+    for (netlist::NetId n : g.stim.inputs) {
+      inRow.push_back(sim.value(n) == sim::Logic::L1);
+    }
+    g.stim.values.push_back(std::move(inRow));
+    std::vector<sim::Logic> outRow;
+    outRow.reserve(g.trace.nets.size());
+    for (netlist::NetId n : g.trace.nets) outRow.push_back(sim.value(n));
+    g.trace.values.push_back(std::move(outRow));
+    sim.clockEdge();
+  }
+  if (g.snaps.empty()) g.snaps.push_back(sim.snapshot());
+  return g;
+}
+
+}  // namespace
+
+FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
+                           const fault::FaultList& faults,
+                           const FaultSimOptions& opt) {
+  if (opt.threads == 1) return runSerialFaultSim(nl, wl, faults, opt);
+
+  const GoldenState g = recordGoldenState(nl, wl, opt);
+  // Workers replay the recorded stimulus and only re-execute backdoor()
+  // (thread-safe by the Workload contract); restart arms any precomputed
+  // plan the workload keeps.
+  wl.restart();
+
+  FaultSimResult res;
+  res.total = faults.size();
+  res.outcomes.assign(faults.size(), FaultOutcome::Undetected);
+
+  struct Worker {
+    sim::Simulator sim;
+    std::uint64_t cycles = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t converged = 0;
+    std::size_t detected = 0;
+
+    explicit Worker(const netlist::Netlist& n) : sim(n) {}
+  };
+
+  core::ThreadPool pool(opt.threads);
+  std::vector<Worker> workers;
+  workers.reserve(pool.size());
+  for (unsigned w = 0; w < pool.size(); ++w) workers.emplace_back(nl);
+
+  pool.parallelFor(faults.size(), 1, [&](unsigned w, std::size_t fi) {
+    Worker& wk = workers[w];
+    const fault::Fault& f = faults[fi];
+    fault::FaultHarness harness(f);
+
+    const std::uint64_t activeFrom = f.transient() ? f.cycle : 0;
+    const std::size_t ci = std::min<std::size_t>(
+        static_cast<std::size_t>(activeFrom / g.interval), g.snaps.size() - 1);
+    const std::uint64_t c0 = static_cast<std::uint64_t>(ci) * g.interval;
+    wk.sim.restore(g.snaps[ci]);
+    if (c0 > 0) {
+      ++wk.hits;
+      wk.skipped += c0;
+    }
+    harness.install(wk.sim);
+
+    bool detected = false;
+    for (std::uint64_t c = c0; c < g.stim.cycles(); ++c) {
+      // Convergence fault-dropping: a spent transient whose machine state
+      // matches the golden checkpoint can never diverge again — the
+      // Undetected verdict is already final.
+      if (f.transient() && c > f.cycle && c % g.interval == 0) {
+        const auto si = static_cast<std::size_t>(c / g.interval);
+        if (si < g.snaps.size() && wk.sim.stateEquals(g.snaps[si])) {
+          ++wk.converged;
+          break;
+        }
+      }
+      harness.beforeCycle(wk.sim, c);
+      for (std::size_t i = 0; i < g.stim.inputs.size(); ++i) {
+        wk.sim.setInput(g.stim.inputs[i],
+                        sim::fromBool(g.stim.values[c][i]));
+      }
+      wl.backdoor(wk.sim, c);
+      wk.sim.evalComb();
+      if (harness.wantsPulse(c)) {
+        harness.applyPulse(wk.sim);
+        wk.sim.evalComb();
+      }
+      ++wk.cycles;
+      for (std::size_t o = 0; o < g.trace.nets.size(); ++o) {
+        if (wk.sim.value(g.trace.nets[o]) != g.trace.values[c][o]) {
+          detected = true;
+          break;
+        }
+      }
+      wk.sim.clockEdge();
+      harness.afterEdge(wk.sim);
+      if (detected && opt.earlyAbort) break;
+    }
+    harness.remove(wk.sim);
+    if (detected) {
+      res.outcomes[fi] = FaultOutcome::Detected;
+      ++wk.detected;
+    }
+  });
+
+  for (const Worker& wk : workers) {
+    res.simulatedCycles += wk.cycles;
+    res.checkpointHits += wk.hits;
+    res.checkpointCyclesSkipped += wk.skipped;
+    res.convergedEarly += wk.converged;
+    res.detected += wk.detected;
+  }
+  return res;
+}
+
+}  // namespace socfmea::faultsim

@@ -1,0 +1,26 @@
+// Multi-threaded whole-fault-list simulation with golden-state
+// checkpointing.  One golden run records the primary-input stimulus, the
+// observed-output trace and periodic full-state snapshots; then the fault
+// list fans out over a thread pool, every worker owning its own Simulator.
+// A transient fault (SEU / SET / soft error) forks from the checkpoint
+// nearest below its injection cycle instead of re-simulating the fault-free
+// prefix; permanent faults (stuck-at, bridges, ...) are active from reset
+// and fall back to the cycle-0 checkpoint — a full replay.
+//
+// Verdicts are bit-identical to runSerialFaultSim for any thread count and
+// checkpoint interval; only simulatedCycles / checkpoint stats differ.
+#pragma once
+
+#include "faultsim/parallel.hpp"
+#include "faultsim/serial.hpp"
+
+namespace socfmea::faultsim {
+
+/// Runs the fault list honouring opt.threads: 1 dispatches to the legacy
+/// serial engine (the reference oracle); 0 = hardware concurrency.
+[[nodiscard]] FaultSimResult runFaultSim(const netlist::Netlist& nl,
+                                         sim::Workload& wl,
+                                         const fault::FaultList& faults,
+                                         const FaultSimOptions& opt = {});
+
+}  // namespace socfmea::faultsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "core/thread_pool.hpp"
 #include "faultsim/parallel.hpp"
 
 namespace socfmea::inject {
@@ -23,28 +24,43 @@ bool isSafeOutcome(Outcome o) noexcept {
          o == Outcome::SafeDetected;
 }
 
-std::size_t CampaignResult::count(Outcome o) const {
-  std::size_t n = 0;
+OutcomeTally CampaignResult::tally() const {
+  OutcomeTally t;
+  t.total = records.size();
   for (const InjectionRecord& r : records) {
-    if (r.outcome == o) ++n;
+    ++t.counts[static_cast<std::size_t>(r.outcome)];
+    if (r.obs.diag) {
+      ++t.diagFired;
+      const std::uint64_t lat = detectionLatency(r);
+      t.latencySum += lat;
+      t.latencyMax = std::max(t.latencyMax, lat);
+    }
   }
-  return n;
+  return t;
 }
 
-double CampaignResult::measuredSafeFraction() const {
-  const std::size_t activated = records.size() - count(Outcome::NoEffect);
+std::size_t CampaignResult::count(Outcome o) const { return tally().count(o); }
+
+double CampaignResult::measuredSafeFraction(const OutcomeTally& t) {
+  const std::size_t activated = t.activated();
   if (activated == 0) return 1.0;
   const std::size_t safe =
-      count(Outcome::SafeMasked) + count(Outcome::SafeDetected);
+      t.count(Outcome::SafeMasked) + t.count(Outcome::SafeDetected);
   return static_cast<double>(safe) / static_cast<double>(activated);
 }
 
-double CampaignResult::measuredDdf() const {
-  const std::size_t dd = count(Outcome::DangerousDetected);
-  const std::size_t du = count(Outcome::DangerousUndetected);
+double CampaignResult::measuredSafeFraction() const {
+  return measuredSafeFraction(tally());
+}
+
+double CampaignResult::measuredDdf(const OutcomeTally& t) {
+  const std::size_t dd = t.count(Outcome::DangerousDetected);
+  const std::size_t du = t.count(Outcome::DangerousUndetected);
   if (dd + du == 0) return 1.0;
   return static_cast<double>(dd) / static_cast<double>(dd + du);
 }
+
+double CampaignResult::measuredDdf() const { return measuredDdf(tally()); }
 
 std::uint64_t CampaignResult::detectionLatency(const InjectionRecord& r) {
   if (!r.obs.diag) return 0;
@@ -54,36 +70,64 @@ std::uint64_t CampaignResult::detectionLatency(const InjectionRecord& r) {
   return r.obs.diagCycle > start ? r.obs.diagCycle - start : 0;
 }
 
+double CampaignResult::meanDetectionLatency(const OutcomeTally& t) {
+  return t.diagFired == 0 ? 0.0
+                          : static_cast<double>(t.latencySum) /
+                                static_cast<double>(t.diagFired);
+}
+
 double CampaignResult::meanDetectionLatency() const {
-  std::uint64_t sum = 0;
-  std::size_t n = 0;
-  for (const InjectionRecord& r : records) {
-    if (!r.obs.diag) continue;
-    sum += detectionLatency(r);
-    ++n;
-  }
-  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+  return meanDetectionLatency(tally());
 }
 
 std::uint64_t CampaignResult::maxDetectionLatency() const {
-  std::uint64_t m = 0;
-  for (const InjectionRecord& r : records) {
-    if (r.obs.diag) m = std::max(m, detectionLatency(r));
-  }
-  return m;
+  return tally().latencyMax;
 }
 
-double CampaignResult::measuredSff() const {
-  const std::size_t activated = records.size() - count(Outcome::NoEffect);
+double CampaignResult::measuredSff(const OutcomeTally& t) {
+  const std::size_t activated = t.activated();
   if (activated == 0) return 1.0;
-  const std::size_t du = count(Outcome::DangerousUndetected);
+  const std::size_t du = t.count(Outcome::DangerousUndetected);
   return 1.0 - static_cast<double>(du) / static_cast<double>(activated);
 }
+
+double CampaignResult::measuredSff() const { return measuredSff(tally()); }
+
+namespace {
+
+/// IEC classification of one observation; shared verbatim by the serial
+/// oracle and the parallel engine so their records cannot diverge.
+Outcome classifyObservation(const InjectionObservation& obs,
+                            std::uint64_t detectionWindow) {
+  if (!obs.obs) {
+    if (obs.diag) return Outcome::SafeDetected;
+    if (obs.sens) return Outcome::SafeMasked;
+    return Outcome::NoEffect;
+  }
+  const bool timely =
+      obs.diag && obs.diagCycle <= obs.firstObsCycle + detectionWindow;
+  return timely ? Outcome::DangerousDetected : Outcome::DangerousUndetected;
+}
+
+/// First cycle at which the injected fault (plus any latent fault) can
+/// perturb the machine: transients act at their scheduled cycle, permanent
+/// faults are active from reset — they must replay the whole workload.
+std::uint64_t firstActiveCycle(const fault::Fault& f,
+                               const std::optional<fault::Fault>& latent) {
+  std::uint64_t first = f.transient() ? f.cycle : 0;
+  if (latent.has_value()) {
+    first = std::min(first, latent->transient() ? latent->cycle : 0);
+  }
+  return first;
+}
+
+}  // namespace
 
 CampaignResult InjectionManager::run(sim::Workload& wl,
                                      const fault::FaultList& faults,
                                      CoverageCollector* coverage,
                                      const CampaignOptions& opt) {
+  if (opt.threads != 1) return runParallel(wl, faults, coverage, opt);
   // Record the stimulus once; golden and every faulty machine replay it
   // (deterministic backdoor actions are re-executed on each machine).
   const faultsim::StimulusTrace stim = faultsim::recordStimulus(*nl_, wl);
@@ -144,23 +188,140 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
     harness.remove(sim);
     if (latent) latent->remove(sim);
 
-    if (!rec.obs.obs) {
-      if (rec.obs.diag) {
-        rec.outcome = Outcome::SafeDetected;
-      } else if (rec.obs.sens) {
-        rec.outcome = Outcome::SafeMasked;
-      } else {
-        rec.outcome = Outcome::NoEffect;
-      }
-    } else {
-      const bool timely =
-          rec.obs.diag &&
-          rec.obs.diagCycle <= rec.obs.firstObsCycle + env_.detectionWindow;
-      rec.outcome =
-          timely ? Outcome::DangerousDetected : Outcome::DangerousUndetected;
-    }
+    rec.outcome = classifyObservation(rec.obs, env_.detectionWindow);
     if (coverage != nullptr) coverage->account(rec.obs);
     result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+CampaignResult InjectionManager::runParallel(sim::Workload& wl,
+                                             const fault::FaultList& faults,
+                                             CoverageCollector* coverage,
+                                             const CampaignOptions& opt) {
+  const faultsim::StimulusTrace stim = faultsim::recordStimulus(*nl_, wl);
+  GoldenCheckpoints ckpts;
+  ckpts.interval = opt.checkpointInterval;
+  const GoldenReference golden = recordGoldenReference(
+      *nl_, env_, wl, stim.inputs, stim.values, &ckpts);
+  // Workers replay the recorded stimulus and only re-execute backdoor()
+  // (thread-safe by the Workload contract) — restart once so any plan the
+  // workload precomputes is armed.
+  wl.restart();
+
+  CampaignResult result;
+  result.records.resize(faults.size());
+
+  // Per-worker machinery: each worker owns its Simulator, monitors and
+  // coverage counters; nothing below is shared mutable state.
+  struct Worker {
+    sim::Simulator sim;
+    LockstepMonitors monitors;
+    CoverageCollector coverage;
+    std::uint64_t cycles = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t converged = 0;
+
+    Worker(const netlist::Netlist& nl, const InjectionEnvironment& env,
+           const GoldenReference& golden)
+        : sim(nl), monitors(env, golden), coverage(env) {}
+  };
+
+  core::ThreadPool pool(opt.threads);
+  std::vector<Worker> workers;
+  workers.reserve(pool.size());
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    workers.emplace_back(*nl_, env_, golden);
+  }
+
+  pool.parallelFor(faults.size(), 1, [&](unsigned w, std::size_t fi) {
+    Worker& wk = workers[w];
+    const fault::Fault& f = faults[fi];
+    InjectionRecord& rec = result.records[fi];
+    rec.fault = f;
+    rec.zone = targetZoneOf(*env_.zones, f);
+
+    fault::FaultHarness harness(f);
+    std::optional<fault::FaultHarness> latent;
+    if (opt.preexisting.has_value()) latent.emplace(*opt.preexisting);
+
+    // Fork from the golden checkpoint nearest below the first cycle the
+    // fault can act; permanent faults (active from reset) land on
+    // checkpoint 0 — the safe full-replay fallback.
+    const std::size_t ci =
+        ckpts.indexFor(firstActiveCycle(f, opt.preexisting));
+    const std::uint64_t c0 = ckpts.cycleOf(ci);
+    wk.sim.restore(ckpts.snaps[ci]);
+    if (c0 > 0) {
+      ++wk.hits;
+      wk.skipped += c0;
+    }
+
+    if (latent) latent->install(wk.sim);
+    harness.install(wk.sim);
+    wk.monitors.begin(rec.obs);
+
+    // Convergence fault-dropping is only sound once every fault in play is
+    // transient AND spent: a permanent fault (or an un-fired transient) can
+    // still perturb the future even from golden-equal state.
+    const bool canConverge =
+        f.transient() &&
+        (!opt.preexisting.has_value() || opt.preexisting->transient());
+    const std::uint64_t spentAfter = std::max<std::uint64_t>(
+        f.cycle, opt.preexisting.has_value() ? opt.preexisting->cycle : 0);
+
+    const std::uint64_t total = stim.cycles() + opt.drainCycles;
+    for (std::uint64_t c = c0; c < total; ++c) {
+      if (canConverge && c > spentAfter && c % ckpts.interval == 0) {
+        const auto si = static_cast<std::size_t>(c / ckpts.interval);
+        if (si < ckpts.snaps.size() &&
+            wk.sim.stateEquals(ckpts.snaps[si])) {
+          // The fault effect washed out: from here the faulty machine
+          // replays the golden run exactly, so no observation, alarm or
+          // zone deviation can appear and the verdict is already final.
+          ++wk.converged;
+          break;
+        }
+      }
+      if (latent) latent->beforeCycle(wk.sim, c);
+      harness.beforeCycle(wk.sim, c);
+      if (c < stim.cycles()) {
+        for (std::size_t i = 0; i < stim.inputs.size(); ++i) {
+          wk.sim.setInput(stim.inputs[i], sim::fromBool(stim.values[c][i]));
+        }
+        wl.backdoor(wk.sim, c);
+      }
+      wk.sim.evalComb();
+      if (harness.wantsPulse(c)) {
+        harness.applyPulse(wk.sim);
+        wk.sim.evalComb();
+      }
+      wk.monitors.observe(wk.sim, c);
+      ++wk.cycles;
+      wk.sim.clockEdge();
+      harness.afterEdge(wk.sim);
+
+      if (opt.earlyAbort && rec.obs.obs) {
+        if (rec.obs.diag ||
+            c > rec.obs.firstObsCycle + env_.detectionWindow) {
+          break;
+        }
+      }
+    }
+    harness.remove(wk.sim);
+    if (latent) latent->remove(wk.sim);
+
+    rec.outcome = classifyObservation(rec.obs, env_.detectionWindow);
+    wk.coverage.account(rec.obs);
+  });
+
+  for (const Worker& wk : workers) {
+    result.cyclesSimulated += wk.cycles;
+    result.checkpointHits += wk.hits;
+    result.checkpointCyclesSkipped += wk.skipped;
+    result.convergedEarly += wk.converged;
+    if (coverage != nullptr) coverage->merge(wk.coverage);
   }
   return result;
 }
@@ -208,18 +369,30 @@ fault::FaultList InjectionManager::zoneFailureFaults(
 }
 
 void printCampaign(std::ostream& out, const CampaignResult& r) {
+  const OutcomeTally t = r.tally();  // one pass over the records
   out << "campaign: " << r.records.size() << " injections, "
       << r.cyclesSimulated << " cycles\n";
   for (const Outcome o :
        {Outcome::NoEffect, Outcome::SafeMasked, Outcome::SafeDetected,
         Outcome::DangerousDetected, Outcome::DangerousUndetected}) {
-    out << "  " << outcomeName(o) << ": " << r.count(o) << "\n";
+    out << "  " << outcomeName(o) << ": " << t.count(o) << "\n";
   }
-  out << "  measured safe fraction " << r.measuredSafeFraction() * 100.0
-      << "%, DDF " << r.measuredDdf() * 100.0 << "%, experimental SFF "
-      << r.measuredSff() * 100.0 << "%\n";
-  out << "  detection latency: mean " << r.meanDetectionLatency()
-      << " cycles, max " << r.maxDetectionLatency() << " cycles\n";
+  out << "  measured safe fraction "
+      << CampaignResult::measuredSafeFraction(t) * 100.0 << "%, DDF "
+      << CampaignResult::measuredDdf(t) * 100.0 << "%, experimental SFF "
+      << CampaignResult::measuredSff(t) * 100.0 << "%\n";
+  out << "  detection latency: mean "
+      << CampaignResult::meanDetectionLatency(t) << " cycles, max "
+      << t.latencyMax << " cycles\n";
+  if (r.checkpointHits > 0) {
+    out << "  checkpointing: " << r.checkpointHits << "/" << r.records.size()
+        << " machines forked from a golden checkpoint, "
+        << r.checkpointCyclesSkipped << " fault-free prefix cycles skipped\n";
+  }
+  if (r.convergedEarly > 0) {
+    out << "  convergence: " << r.convergedEarly << "/" << r.records.size()
+        << " machines dropped early after reconverging with the golden run\n";
+  }
 }
 
 }  // namespace socfmea::inject

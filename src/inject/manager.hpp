@@ -4,8 +4,8 @@
 // recorded workload stimulus; the monitors classify every injection.
 #pragma once
 
+#include <array>
 #include <iosfwd>
-
 #include <optional>
 
 #include "fault/harness.hpp"
@@ -35,9 +35,42 @@ struct InjectionRecord {
   InjectionObservation obs;
 };
 
+/// All outcome counts plus the latency aggregates, computed in ONE pass over
+/// the records (CampaignResult::tally).  printCampaign and the measured
+/// metrics reuse a single tally instead of rescanning the record vector per
+/// outcome.
+struct OutcomeTally {
+  std::array<std::size_t, 5> counts{};  ///< indexed by Outcome
+  std::size_t total = 0;                ///< records.size()
+  std::size_t diagFired = 0;            ///< records whose diagnostic fired
+  std::uint64_t latencySum = 0;         ///< summed detection latency
+  std::uint64_t latencyMax = 0;
+
+  [[nodiscard]] std::size_t count(Outcome o) const noexcept {
+    return counts[static_cast<std::size_t>(o)];
+  }
+  /// Records whose fault was activated (everything but NoEffect).
+  [[nodiscard]] std::size_t activated() const noexcept {
+    return total - count(Outcome::NoEffect);
+  }
+};
+
 struct CampaignResult {
   std::vector<InjectionRecord> records;
   std::uint64_t cyclesSimulated = 0;
+  /// Faults forked from a golden checkpoint later than cycle 0, and the
+  /// fault-free prefix cycles that forking skipped.  Zero under the serial
+  /// reference engine (threads = 1), which never checkpoints.
+  std::uint64_t checkpointHits = 0;
+  std::uint64_t checkpointCyclesSkipped = 0;
+  /// Transient faults dropped before the workload's end because the faulty
+  /// machine's state reconverged with the golden checkpoint (fault washed
+  /// out, e.g. corrected by ECC) — the rest of the run is provably
+  /// identical, so the verdict is final.  Parallel engine only.
+  std::uint64_t convergedEarly = 0;
+
+  /// Single-pass aggregation of every outcome count and latency statistic.
+  [[nodiscard]] OutcomeTally tally() const;
 
   [[nodiscard]] std::size_t count(Outcome o) const;
   /// Detection latency of one record: cycles from the first observable
@@ -56,6 +89,13 @@ struct CampaignResult {
   [[nodiscard]] double measuredDdf() const;
   /// Experimental SFF analogue: (safe + DD) / activated.
   [[nodiscard]] double measuredSff() const;
+
+  // Tally-based forms of the metrics above: compute tally() once and derive
+  // every figure from it without rescanning the records.
+  [[nodiscard]] static double meanDetectionLatency(const OutcomeTally& t);
+  [[nodiscard]] static double measuredSafeFraction(const OutcomeTally& t);
+  [[nodiscard]] static double measuredDdf(const OutcomeTally& t);
+  [[nodiscard]] static double measuredSff(const OutcomeTally& t);
 };
 
 struct CampaignOptions {
@@ -69,6 +109,14 @@ struct CampaignOptions {
   /// has already defeated part of the diagnostics — the reason the norm
   /// demands latent-fault tests at HFT 0.
   std::optional<fault::Fault> preexisting;
+  /// Campaign parallelism: 1 = the legacy serial engine (the reference
+  /// oracle, no checkpointing), 0 = hardware concurrency, N = N workers.
+  /// Records and every IEC metric are bit-identical regardless of the
+  /// value; only cyclesSimulated / checkpoint stats differ.
+  unsigned threads = 1;
+  /// Golden-checkpoint spacing for the parallel engine; 0 picks
+  /// max(1, workloadCycles / 16).  Ignored when threads = 1.
+  std::uint64_t checkpointInterval = 0;
 };
 
 class InjectionManager {
@@ -81,7 +129,13 @@ class InjectionManager {
   }
 
   /// Runs the campaign; `coverage`, when non-null, accumulates the
-  /// completeness counters.
+  /// completeness counters.  With opt.threads != 1 the campaign fans out
+  /// over a thread pool: every worker owns its own Simulator, FaultHarness
+  /// and LockstepMonitors, faulty machines fork from the golden checkpoint
+  /// nearest below their fault's first active cycle, records land in a
+  /// pre-sized vector by fault index, and per-worker coverage collectors
+  /// are merged at the end — so the result is bit-identical to the serial
+  /// engine regardless of thread count.
   [[nodiscard]] CampaignResult run(sim::Workload& wl,
                                    const fault::FaultList& faults,
                                    CoverageCollector* coverage = nullptr,
@@ -96,6 +150,11 @@ class InjectionManager {
       std::uint64_t seed) const;
 
  private:
+  [[nodiscard]] CampaignResult runParallel(sim::Workload& wl,
+                                           const fault::FaultList& faults,
+                                           CoverageCollector* coverage,
+                                           const CampaignOptions& opt);
+
   const netlist::Netlist* nl_;
   InjectionEnvironment env_;
 };

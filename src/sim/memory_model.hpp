@@ -67,6 +67,14 @@ class MemoryModel {
     return !stuck_.empty() || !addrFaults_.empty() || !coupling_.empty();
   }
 
+  /// True when the stored contents are identical and NEITHER side has a
+  /// fault model installed (an overlay can keep perturbing future accesses,
+  /// so faulted memories never compare equal).  Used by the campaign
+  /// engine's convergence check.
+  [[nodiscard]] bool stateEquals(const MemoryModel& other) const noexcept {
+    return !hasFaults() && !other.hasFaults() && cells_ == other.cells_;
+  }
+
  private:
   [[nodiscard]] std::uint64_t applyStuck(std::uint64_t addr,
                                          std::uint64_t data) const;

@@ -104,6 +104,35 @@ class Simulator {
   void addObserver(Observer obs) { observers_.push_back(std::move(obs)); }
   void clearObservers() { observers_.clear(); }
 
+  // ---- snapshot / restore --------------------------------------------------
+
+  /// Full machine state at an instant: cycle counter, net values, flip-flop
+  /// state, input drivers, memory contents (explicit clone) and installed
+  /// fault hooks (forces, bridges, stale sampling).  Observers are NOT part
+  /// of the snapshot — restore() keeps the current observer list.
+  ///
+  /// The campaign engines use this to fork a faulty machine from a periodic
+  /// golden checkpoint at the nearest cycle <= the fault's injection cycle,
+  /// skipping re-simulation of the fault-free prefix.
+  struct Snapshot;
+
+  /// Captures the current state (call on settled or unsettled state alike;
+  /// the combinational network is settled first so the snapshot is
+  /// self-consistent).
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Restores a snapshot taken from a Simulator over the same netlist.
+  /// Throws std::invalid_argument on a design mismatch.
+  void restore(const Snapshot& s);
+
+  /// True when the complete machine state (cycle, flip-flops, nets, inputs,
+  /// memories, fault hooks) equals the snapshot — from that point on, the
+  /// two machines evolve identically under identical stimulus.  Memories
+  /// with fault overlays and installed bridges conservatively compare
+  /// unequal.  The campaign engines use this to drop a faulty machine early
+  /// once its state has reconverged with the golden run ("fault washed
+  /// out"), which is sound because no future deviation is then possible.
+  [[nodiscard]] bool stateEquals(const Snapshot& s) const;
+
  private:
   void settle();
   void writeNet(netlist::NetId net, Logic v);
@@ -134,6 +163,20 @@ class Simulator {
   bool anyStale_ = false;
   mutable bool dirty_ = true;
   std::vector<Observer> observers_;
+};
+
+struct Simulator::Snapshot {
+  std::uint64_t cycle = 0;
+  std::vector<Logic> netVal;
+  std::vector<Logic> ffState;
+  std::vector<Logic> ffPrevD;
+  std::vector<Logic> inputVal;
+  std::vector<MemoryModel> mems;  ///< explicit clone of every memory
+  std::vector<std::vector<Logic>> memRdataReg;
+  std::unordered_map<netlist::NetId, Logic> forces;
+  std::vector<Bridge> bridges;
+  std::vector<bool> stale;
+  bool anyStale = false;
 };
 
 }  // namespace socfmea::sim

@@ -31,6 +31,14 @@ class Workload {
   /// deterministic function of (restart state, cycle): it is re-executed on
   /// both the golden and every faulty machine.  Called after drive(),
   /// before evalComb().
+  ///
+  /// Concurrency contract: the parallel campaign engines call backdoor()
+  /// from several worker threads at once (after one restart() on the main
+  /// thread), each with its own Simulator.  backdoor() must therefore not
+  /// mutate workload state — read a plan precomputed in restart(), or
+  /// derive everything from `cycle` (the in-tree workloads do exactly
+  /// this; drive() has no such requirement because stimulus is recorded
+  /// once and replayed).
   virtual void backdoor(Simulator& /*sim*/, std::uint64_t /*cycle*/) {}
   /// Optional self-check against the settled values (golden runs only).
   /// Returns false on a functional mismatch.

@@ -1,0 +1,430 @@
+// Tests for the parallel campaign engine: the thread pool, the Simulator
+// snapshot/restore API, and the headline determinism contract — the same
+// fault list through the serial oracle and the parallel engine (threads =
+// 1, 2, 8) on the memsys reference design produces identical
+// InjectionRecords, coverage counters and FaultSimResult detections.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "fault/collapse.hpp"
+#include "fault/fault_list.hpp"
+#include "faultsim/threaded.hpp"
+#include "inject/manager.hpp"
+#include "inject/workload.hpp"
+#include "memsys/gatelevel.hpp"
+#include "memsys/workloads.hpp"
+#include "netlist/builder.hpp"
+#include "zones/extract.hpp"
+
+namespace nl = socfmea::netlist;
+namespace zn = socfmea::zones;
+namespace ft = socfmea::fault;
+namespace fs = socfmea::faultsim;
+namespace ij = socfmea::inject;
+namespace sm = socfmea::sim;
+namespace ms = socfmea::memsys;
+namespace co = socfmea::core;
+
+// ---------------------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  co::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> seen(1000);
+  pool.parallelFor(seen.size(), 7, [&](unsigned worker, std::size_t i) {
+    ASSERT_LT(worker, pool.size());
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  co::ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, 1, [&](unsigned, std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  co::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(10, 1,
+                                [&](unsigned, std::size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives the throw.
+  std::atomic<int> n{0};
+  pool.parallelFor(8, 1, [&](unsigned, std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(co::resolveThreadCount(0), 1u);
+  EXPECT_EQ(co::resolveThreadCount(5), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator snapshot / restore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A small memsys build (64-word array) — fast enough for unit tests while
+/// still exercising memories, checkers and alarms.
+ms::GateLevelDesign smallMemsys() {
+  ms::GateLevelOptions o = ms::GateLevelOptions::v2();
+  o.addrBits = 6;
+  return ms::buildProtectionIp(o);
+}
+
+ms::ProtectionIpWorkload::Options smallWorkload(std::uint64_t cycles) {
+  ms::ProtectionIpWorkload::Options o;
+  o.cycles = cycles;
+  o.seed = 42;
+  return o;
+}
+
+std::vector<sm::Logic> allNetValues(const sm::Simulator& sim) {
+  std::vector<sm::Logic> v;
+  v.reserve(sim.design().netCount());
+  for (nl::NetId n = 0; n < sim.design().netCount(); ++n) {
+    v.push_back(sim.value(n));
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(SnapshotTest, RoundTripReplaysIdentically) {
+  const auto design = smallMemsys();
+  ms::ProtectionIpWorkload wl(design, smallWorkload(80));
+  sm::Simulator sim(design.nl);
+  wl.restart();
+  sim.reset();
+  const auto runCycle = [&](std::uint64_t c) {
+    wl.drive(sim, c);
+    wl.backdoor(sim, c);
+    sim.evalComb();
+    sim.clockEdge();
+  };
+  for (std::uint64_t c = 0; c < 40; ++c) runCycle(c);
+
+  const auto snap = sim.snapshot();
+  EXPECT_EQ(snap.cycle, 40u);
+
+  std::vector<std::vector<sm::Logic>> first;
+  for (std::uint64_t c = 40; c < 80; ++c) {
+    runCycle(c);
+    first.push_back(allNetValues(sim));
+  }
+  const std::uint64_t mem0 = sim.memory(0).peek(3);
+
+  sim.restore(snap);
+  EXPECT_EQ(sim.cycle(), 40u);
+  std::vector<std::vector<sm::Logic>> second;
+  for (std::uint64_t c = 40; c < 80; ++c) {
+    runCycle(c);
+    second.push_back(allNetValues(sim));
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(sim.memory(0).peek(3), mem0);
+}
+
+TEST(SnapshotTest, CapturesInstalledFaultHooks) {
+  nl::Netlist n{"tiny"};
+  nl::NetId a;
+  {
+    nl::Builder b(n);
+    a = b.input("a");
+    b.output("o", b.bnot(a));
+  }
+  sm::Simulator sim(n);
+  sim.setInput(a, sm::Logic::L0);
+  ASSERT_EQ(sim.value(a), sm::Logic::L0);
+  sim.forceNet(a, sm::Logic::L1);
+  EXPECT_EQ(sim.value(a), sm::Logic::L1);
+  const auto snap = sim.snapshot();
+  sim.releaseAllNets();
+  EXPECT_EQ(sim.value(a), sm::Logic::L0);
+  sim.restore(snap);
+  EXPECT_EQ(sim.value(a), sm::Logic::L1);
+}
+
+TEST(SnapshotTest, RejectsForeignDesign) {
+  const auto design = smallMemsys();
+  sm::Simulator sim(design.nl);
+  const auto snap = sim.snapshot();
+
+  nl::Netlist other;
+  nl::Builder b(other);
+  b.output("o", b.bnot(b.input("a")));
+  sm::Simulator otherSim(other);
+  EXPECT_THROW(otherSim.restore(snap), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// campaign determinism: serial oracle vs parallel engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MemsysBed {
+  ms::GateLevelDesign design = smallMemsys();
+  zn::ZoneDatabase db;
+  zn::EffectsModel fx;
+  ij::InjectionEnvironment env;
+
+  MemsysBed()
+      : db(zn::extractZones(design.nl)),
+        fx(db, design.alarmNames),
+        env(ij::EnvironmentBuilder(db, fx)
+                .withSeed(7)
+                .withDetectionWindow(24)
+                .build()) {}
+
+  /// A balanced sample: permanent stuck-at faults (checkpoint fallback)
+  /// plus transient SEUs / soft errors (checkpoint hits).
+  [[nodiscard]] ft::FaultList sampleFaults(ms::ProtectionIpWorkload& wl,
+                                           std::size_t n) const {
+    const auto profile = ij::OperationalProfile::record(db, wl);
+    ft::FaultList candidates = ft::allStuckAtFaults(design.nl);
+    ft::append(candidates, ft::allSeuFaults(design.nl));
+    ij::collapseAgainstProfile(db, profile, candidates);
+    return ij::randomizeFaultList(db, profile, candidates, n, 11);
+  }
+};
+
+void expectRecordsEqual(const ij::CampaignResult& a,
+                        const ij::CampaignResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_TRUE(ra.fault == rb.fault) << "record " << i;
+    EXPECT_EQ(ra.zone, rb.zone) << "record " << i;
+    EXPECT_EQ(ra.outcome, rb.outcome) << "record " << i;
+    EXPECT_EQ(ra.obs.sens, rb.obs.sens) << "record " << i;
+    EXPECT_EQ(ra.obs.sensCycle, rb.obs.sensCycle) << "record " << i;
+    EXPECT_EQ(ra.obs.zonesDeviated, rb.obs.zonesDeviated) << "record " << i;
+    EXPECT_EQ(ra.obs.obs, rb.obs.obs) << "record " << i;
+    EXPECT_EQ(ra.obs.firstObsCycle, rb.obs.firstObsCycle) << "record " << i;
+    EXPECT_EQ(ra.obs.obsDeviated, rb.obs.obsDeviated) << "record " << i;
+    EXPECT_EQ(ra.obs.diag, rb.obs.diag) << "record " << i;
+    EXPECT_EQ(ra.obs.diagCycle, rb.obs.diagCycle) << "record " << i;
+  }
+}
+
+}  // namespace
+
+TEST(ParallelCampaignTest, BitIdenticalToSerialAcrossThreadCounts) {
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(260));
+  const auto faults = bed.sampleFaults(wl, 48);
+  ASSERT_GT(faults.size(), 10u);
+
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+
+  ij::CampaignOptions serialOpt;  // threads = 1: the reference oracle
+  ij::CoverageCollector serialCov(mgr.environment());
+  const auto serial = mgr.run(wl, faults, &serialCov, serialOpt);
+  EXPECT_EQ(serial.checkpointHits, 0u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    ij::CampaignOptions par;
+    par.threads = threads;
+    ij::CoverageCollector parCov(mgr.environment());
+    const auto parallel = mgr.run(wl, faults, &parCov, par);
+
+    expectRecordsEqual(serial, parallel);
+    EXPECT_EQ(serialCov.injections(), parCov.injections());
+    EXPECT_EQ(serialCov.mismatches(), parCov.mismatches());
+    EXPECT_EQ(serialCov.sensEvents(), parCov.sensEvents());
+    EXPECT_EQ(serialCov.diagEvents(), parCov.diagEvents());
+    EXPECT_DOUBLE_EQ(serialCov.sensCoverage(), parCov.sensCoverage());
+    EXPECT_DOUBLE_EQ(serialCov.obseCoverage(), parCov.obseCoverage());
+    EXPECT_DOUBLE_EQ(serialCov.completeness(), parCov.completeness());
+    // Every IEC metric agrees bit-for-bit.
+    EXPECT_EQ(serial.measuredSff(), parallel.measuredSff());
+    EXPECT_EQ(serial.measuredDdf(), parallel.measuredDdf());
+    EXPECT_EQ(serial.measuredSafeFraction(), parallel.measuredSafeFraction());
+    EXPECT_EQ(serial.meanDetectionLatency(), parallel.meanDetectionLatency());
+    EXPECT_EQ(serial.maxDetectionLatency(), parallel.maxDetectionLatency());
+    // The transient faults in the sample forked from golden checkpoints
+    // and skipped their fault-free prefixes.
+    EXPECT_GT(parallel.checkpointHits, 0u);
+    EXPECT_GT(parallel.checkpointCyclesSkipped, 0u);
+    EXPECT_LT(parallel.cyclesSimulated, serial.cyclesSimulated);
+  }
+}
+
+TEST(ParallelCampaignTest, StuckAtFaultsFallBackToFullReplay) {
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(120));
+  ft::FaultList faults;
+  const auto all = ft::allStuckAtFaults(bed.design.nl);
+  for (std::size_t i = 0; i < all.size() && faults.size() < 12; i += 97) {
+    faults.push_back(all[i]);
+  }
+  ASSERT_FALSE(faults.empty());
+
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+  const auto serial = mgr.run(wl, faults);
+
+  ij::CampaignOptions par;
+  par.threads = 4;
+  const auto parallel = mgr.run(wl, faults, nullptr, par);
+  expectRecordsEqual(serial, parallel);
+  // Permanent faults are active from reset: no checkpoint may be used.
+  EXPECT_EQ(parallel.checkpointHits, 0u);
+  EXPECT_EQ(parallel.cyclesSimulated, serial.cyclesSimulated);
+}
+
+TEST(ParallelCampaignTest, LatentFaultCampaignStaysIdentical) {
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(150));
+  const auto faults = bed.sampleFaults(wl, 16);
+
+  ij::CampaignOptions opt;
+  opt.preexisting = faults.front();  // any first fault as the latent one
+
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+  const auto serial = mgr.run(wl, faults, nullptr, opt);
+  auto par = opt;
+  par.threads = 4;
+  const auto parallel = mgr.run(wl, faults, nullptr, par);
+  expectRecordsEqual(serial, parallel);
+}
+
+TEST(ParallelCampaignTest, ExplicitCheckpointIntervalHonoured) {
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(100));
+  const auto faults = bed.sampleFaults(wl, 12);
+
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+  const auto serial = mgr.run(wl, faults);
+  ij::CampaignOptions par;
+  par.threads = 2;
+  par.checkpointInterval = 8;  // dense checkpoints
+  const auto parallel = mgr.run(wl, faults, nullptr, par);
+  expectRecordsEqual(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// threaded fault simulation (runFaultSim)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DataPath {
+  nl::Netlist n{"dp"};
+  nl::NetId rst;
+  nl::Bus a, b, q;
+
+  DataPath() {
+    nl::Builder bl(n);
+    rst = bl.input("rst");
+    a = bl.inputBus("a", 8);
+    b = bl.inputBus("b", 8);
+    const auto sum = bl.adder(a, b);
+    q = bl.registerBus("r", sum, nl::kNoNet, rst, 0);
+    bl.outputBus("sum", q);
+    bl.output("par", bl.reduceXor(q));
+    n.check();
+  }
+};
+
+}  // namespace
+
+TEST(ThreadedFaultSimTest, MatchesSerialOnMixedFaults) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 160, 7, {{d.rst, false}});
+
+  ft::FaultList faults = ft::allStuckAtFaults(d.n);
+  ft::collapseStuckAt(d.n, faults);
+  // Add transient SEUs late in the workload so checkpoint forking triggers.
+  for (nl::CellId ff : d.n.flipFlops()) {
+    ft::Fault f;
+    f.kind = ft::FaultKind::SeuFlip;
+    f.cell = ff;
+    f.net = d.n.cell(ff).output;
+    f.cycle = 120;
+    faults.push_back(f);
+  }
+
+  fs::FaultSimOptions serialOpt;
+  const auto serial = fs::runFaultSim(d.n, wl, faults, serialOpt);
+  EXPECT_EQ(serial.checkpointHits, 0u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    fs::FaultSimOptions opt;
+    opt.threads = threads;
+    const auto par = fs::runFaultSim(d.n, wl, faults, opt);
+    ASSERT_EQ(par.outcomes.size(), serial.outcomes.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      EXPECT_EQ(par.outcomes[i], serial.outcomes[i])
+          << faults[i].describe(d.n);
+    }
+    EXPECT_EQ(par.detected, serial.detected);
+    EXPECT_EQ(par.total, serial.total);
+    EXPECT_GT(par.checkpointHits, 0u);  // the cycle-120 SEUs forked
+    EXPECT_LT(par.simulatedCycles, serial.simulatedCycles);
+  }
+}
+
+TEST(ThreadedFaultSimTest, ThreadsZeroUsesHardwareConcurrency) {
+  DataPath d;
+  ij::RandomWorkload wl(d.n, 60, 3, {{d.rst, false}});
+  ft::FaultList faults = ft::allStuckAtFaults(d.n);
+  ft::collapseStuckAt(d.n, faults);
+
+  fs::FaultSimOptions serialOpt;
+  const auto serial = fs::runFaultSim(d.n, wl, faults, serialOpt);
+  fs::FaultSimOptions opt;
+  opt.threads = 0;
+  const auto par = fs::runFaultSim(d.n, wl, faults, opt);
+  EXPECT_EQ(par.detected, serial.detected);
+  ASSERT_EQ(par.outcomes.size(), serial.outcomes.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(par.outcomes[i], serial.outcomes[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// single-pass outcome tally (CampaignResult::tally)
+// ---------------------------------------------------------------------------
+
+TEST(TallyTest, MatchesPerOutcomeCounts) {
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(150));
+  const auto faults = bed.sampleFaults(wl, 24);
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+  const auto res = mgr.run(wl, faults);
+
+  const auto t = res.tally();
+  std::size_t sum = 0;
+  for (const auto o :
+       {ij::Outcome::NoEffect, ij::Outcome::SafeMasked,
+        ij::Outcome::SafeDetected, ij::Outcome::DangerousDetected,
+        ij::Outcome::DangerousUndetected}) {
+    EXPECT_EQ(t.count(o), res.count(o));
+    sum += t.count(o);
+  }
+  EXPECT_EQ(sum, res.records.size());
+  EXPECT_EQ(t.total, res.records.size());
+  EXPECT_DOUBLE_EQ(ij::CampaignResult::measuredSff(t), res.measuredSff());
+  EXPECT_DOUBLE_EQ(ij::CampaignResult::measuredDdf(t), res.measuredDdf());
+  EXPECT_DOUBLE_EQ(ij::CampaignResult::measuredSafeFraction(t),
+                   res.measuredSafeFraction());
+  EXPECT_DOUBLE_EQ(ij::CampaignResult::meanDetectionLatency(t),
+                   res.meanDetectionLatency());
+  EXPECT_EQ(t.latencyMax, res.maxDetectionLatency());
+}
