@@ -155,11 +155,11 @@ void printTable() {
   const Measurement& serial = head.serial;
   const Measurement& four = head.four;
   benchutil::JsonDump dump("BENCH_campaign.json");
-  dump.field("design", std::string("frmem-v2"))
-      .field("campaign", std::string("transient"))
+  dump.field("design", "frmem-v2")
+      .field("campaign", "transient")
       .field("workload_cycles", s.wl.cycles())
       .field("faults", static_cast<std::uint64_t>(s.faults.size()))
-      .field("identical_to_serial", std::string(head.identical ? "yes" : "no"))
+      .field("identical_to_serial", head.identical)
       .field("serial_wall_s", serial.seconds)
       .field("serial_faults_per_s",
              static_cast<double>(s.faults.size()) / serial.seconds)

@@ -15,6 +15,7 @@
 
 #include "core/frmem_config.hpp"
 #include "memsys/workloads.hpp"
+#include "obs/json.hpp"
 
 namespace benchutil {
 
@@ -49,34 +50,40 @@ inline void banner(const char* experiment, const char* paperArtefact) {
 
 /// Flat JSON object written next to the bench binary (e.g.
 /// BENCH_campaign.json) so CI can diff headline numbers across runs
-/// without scraping stdout.  Number fields are emitted as-is; string
-/// fields are quoted (values must not need escaping).
+/// without scraping stdout.  Backed by the shared obs::Json document
+/// model: proper string escaping, exact integers, shortest-round-trip
+/// doubles, insertion-ordered keys.
 class JsonDump {
  public:
-  explicit JsonDump(std::string path) : path_(std::move(path)) {}
+  explicit JsonDump(std::string path)
+      : path_(std::move(path)), doc_(socfmea::obs::Json::object()) {}
 
   JsonDump& field(const std::string& key, double v) {
-    std::ostringstream os;
-    os.precision(6);
-    os << std::fixed << v;
-    return raw(key, os.str());
+    doc_[key] = socfmea::obs::Json(v);
+    return *this;
   }
   JsonDump& field(const std::string& key, std::uint64_t v) {
-    return raw(key, std::to_string(v));
+    doc_[key] = socfmea::obs::Json(v);
+    return *this;
+  }
+  JsonDump& field(const std::string& key, bool v) {
+    doc_[key] = socfmea::obs::Json(v);
+    return *this;
   }
   JsonDump& field(const std::string& key, const std::string& v) {
-    return raw(key, "\"" + v + "\"");
+    doc_[key] = socfmea::obs::Json(v);
+    return *this;
+  }
+  // Without this overload a string literal would bind to the bool one.
+  JsonDump& field(const std::string& key, const char* v) {
+    doc_[key] = socfmea::obs::Json(v);
+    return *this;
   }
 
   /// Writes the accumulated fields; returns false (and warns) on IO error.
   bool write() const {
     std::ofstream out(path_);
-    out << "{\n";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
-          << (i + 1 < fields_.size() ? "," : "") << "\n";
-    }
-    out << "}\n";
+    out << doc_.dump(2) << "\n";
     if (!out) {
       std::cerr << "warning: could not write " << path_ << "\n";
       return false;
@@ -86,13 +93,8 @@ class JsonDump {
   }
 
  private:
-  JsonDump& raw(const std::string& key, std::string value) {
-    fields_.emplace_back(key, std::move(value));
-    return *this;
-  }
-
   std::string path_;
-  std::vector<std::pair<std::string, std::string>> fields_;
+  socfmea::obs::Json doc_;
 };
 
 /// Emits the table then runs the registered google-benchmark timings.

@@ -9,14 +9,30 @@
 //   5. collect coverage, classify outcomes, and cross-check the FMEA.
 #include <iostream>
 
+#include <cstring>
+#include <fstream>
+
 #include "core/frmem_config.hpp"
 #include "fault/fault_list.hpp"
 #include "inject/analyzer.hpp"
 #include "memsys/workloads.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace socfmea;
 
-int main() {
+int main(int argc, char** argv) {
+  // --json <path>: dump the campaign (fault-list shaping, outcome metrics,
+  // coverage completeness, FMEA cross-check) as one JSON document.
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
   // The DUT: the v2 protection IP at gate level.
   const memsys::GateLevelDesign dut =
       memsys::buildProtectionIp(memsys::GateLevelOptions::v2());
@@ -78,6 +94,33 @@ int main() {
   const auto validation = analyzer.validate(flow.sheet(), result, 0.20);
   std::cout << "\n";
   inject::printValidation(std::cout, validation, 12);
+
+  if (jsonPath != nullptr) {
+    obs::Json report = obs::Json::object();
+    report["schema"] = obs::Json("socfmea.injection_campaign/1");
+    obs::Json fl = obs::Json::object();
+    fl["candidates_after_collapse"] = obs::Json(candidates.size());
+    fl["profile_dropped"] = obs::Json(dropped);
+    fl["campaign_faults"] = obs::Json(faults.size());
+    report["fault_list"] = std::move(fl);
+    report["campaign"] = result.toJson();
+    report["coverage"] = coverage.toJson();
+    obs::Json v = obs::Json::object();
+    v["max_delta_s"] = obs::Json(validation.maxDeltaS);
+    v["max_delta_ddf"] = obs::Json(validation.maxDeltaDdf);
+    v["effects_consistent"] = obs::Json(validation.effectsConsistent);
+    v["pass"] = obs::Json(validation.pass);
+    report["validation"] = std::move(v);
+    report["telemetry"] = obs::Registry::global().toJson();
+
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "cannot open " << jsonPath << " for writing\n";
+      return 2;
+    }
+    out << report.dump(2) << "\n";
+    std::cout << "\nwrote " << jsonPath << "\n";
+  }
 
   return validation.effectsConsistent ? 0 : 1;
 }

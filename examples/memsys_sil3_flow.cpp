@@ -12,6 +12,7 @@
 //   4. validate the FMEA with the fault-injection flow (steps a-d).
 #include <iostream>
 
+#include <cstring>
 #include <fstream>
 
 #include "core/flow_report.hpp"
@@ -19,10 +20,23 @@
 #include "core/frmem_config.hpp"
 #include "core/validation.hpp"
 #include "memsys/workloads.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace socfmea;
 
-int main() {
+int main(int argc, char** argv) {
+  // --json <path>: also emit the whole flow as one machine-readable report
+  // (the document CI's metrics-gate diffs against the checked-in golden).
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+
   std::cout << "==== step 1: first implementation (v1) ====\n";
   const memsys::GateLevelDesign v1 =
       memsys::buildProtectionIp(memsys::GateLevelOptions::v1());
@@ -64,5 +78,30 @@ int main() {
   const bool sil3 = flowV2.sil() >= fmea::Sil::Sil3;
   std::cout << "\nfinal verdict: v2 "
             << (sil3 ? "achieves" : "DOES NOT achieve") << " SIL3 at HFT 0\n";
+
+  if (jsonPath != nullptr) {
+    obs::Json report = obs::Json::object();
+    report["schema"] = obs::Json("socfmea.flow_report/1");
+    obs::Json v1v = obs::Json::object();
+    v1v["sff"] = obs::Json(flowV1.sff());
+    v1v["dc"] = obs::Json(flowV1.dc());
+    v1v["sil"] = obs::Json(static_cast<int>(flowV1.sil()));
+    v1v["sil_name"] = obs::Json(fmea::silName(flowV1.sil()));
+    v1v["line"] = obs::Json(core::verdictLine(flowV1));
+    report["v1_verdict"] = std::move(v1v);
+    report["flow"] = core::flowReportJson(flowV2);
+    report["validation"] = rep.toJson();
+    report["sil3_pass"] = obs::Json(sil3);
+    // Timing / machine-dependent counters: excluded from golden diffs.
+    report["telemetry"] = obs::Registry::global().toJson();
+
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "cannot open " << jsonPath << " for writing\n";
+      return 2;
+    }
+    out << report.dump(2) << "\n";
+    std::cout << "wrote " << jsonPath << "\n";
+  }
   return sil3 ? 0 : 1;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates reports/memsys_sil3.golden.json — the safety report CI's
+# metrics-gate diffs every build against.  Run this (and commit the result)
+# only after an INTENTIONAL metrics change; the whole point of the gate is
+# that λ/DC/SFF and the SIL verdict never drift silently.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: build-golden)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build-golden}
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target memsys_sil3_flow report_gate
+
+"$BUILD/examples/memsys_sil3_flow" --json "$BUILD/memsys_sil3.json" >/dev/null
+
+# The golden is a subset spec: drop the machine/timing-dependent telemetry
+# section, keep every deterministic metric (zone table, lambda/DC/SFF,
+# verdicts, campaign outcome tallies).
+mkdir -p reports
+"$BUILD/tools/report_gate" strip "$BUILD/memsys_sil3.json" \
+    reports/memsys_sil3.golden.json telemetry
+
+echo "updated reports/memsys_sil3.golden.json"

@@ -57,4 +57,72 @@ std::string verdictLine(const FmeaFlow& flow) {
   return ss.str();
 }
 
+namespace {
+
+obs::Json designStatsJson(const netlist::Netlist& nl) {
+  const auto stats = netlist::computeStats(nl);
+  obs::Json j = obs::Json::object();
+  j["name"] = obs::Json(nl.name());
+  j["nets"] = obs::Json(stats.nets);
+  j["gates"] = obs::Json(stats.gates);
+  j["flip_flops"] = obs::Json(stats.flipFlops);
+  j["primary_inputs"] = obs::Json(stats.primaryInputs);
+  j["primary_outputs"] = obs::Json(stats.primaryOutputs);
+  j["memories"] = obs::Json(stats.memories);
+  j["memory_bits"] = obs::Json(stats.memoryBits);
+  j["max_depth"] = obs::Json(stats.maxDepth);
+  j["avg_fanout"] = obs::Json(stats.avgFanout);
+  j["max_fanout"] = obs::Json(stats.maxFanout);
+  j["max_fanout_net"] = obs::Json(stats.maxFanoutNet);
+  obs::Json byType = obs::Json::object();
+  for (std::size_t t = 0; t < stats.byType.size(); ++t) {
+    if (stats.byType[t] == 0) continue;
+    byType[netlist::cellTypeName(static_cast<netlist::CellType>(t))] =
+        obs::Json(stats.byType[t]);
+  }
+  j["by_type"] = std::move(byType);
+  return j;
+}
+
+}  // namespace
+
+obs::Json flowReportJson(const FmeaFlow& flow, const FlowReportOptions& opt) {
+  obs::Json j = obs::Json::object();
+  j["design"] = designStatsJson(flow.design());
+  j["zones"] = zones::toJson(flow.zones());
+  j["effects"] = flow.effects().toJson();
+  j["sheet"] = flow.sheet().toJson(opt.sheetRows);
+
+  if (opt.includeSensitivity) {
+    const fmea::SensitivityResult sens = flow.sensitivity();
+    obs::Json s = obs::Json::object();
+    s["baseline_sff"] = obs::Json(sens.baselineSff);
+    s["baseline_dc"] = obs::Json(sens.baselineDc);
+    s["min_sff"] = obs::Json(sens.minSff());
+    s["max_sff"] = obs::Json(sens.maxSff());
+    s["max_abs_delta"] = obs::Json(sens.maxAbsDelta());
+    obs::Json scenarios = obs::Json::array();
+    for (const fmea::SensitivityScenario& sc : sens.scenarios) {
+      obs::Json e = obs::Json::object();
+      e["name"] = obs::Json(sc.name);
+      e["sff"] = obs::Json(sc.sff);
+      e["dc"] = obs::Json(sc.dc);
+      e["delta_sff"] = obs::Json(sc.deltaSff);
+      scenarios.push_back(std::move(e));
+    }
+    s["scenarios"] = std::move(scenarios);
+    j["sensitivity"] = std::move(s);
+  }
+
+  obs::Json verdict = obs::Json::object();
+  verdict["sff"] = obs::Json(flow.sff());
+  verdict["dc"] = obs::Json(flow.dc());
+  verdict["sil"] = obs::Json(static_cast<int>(flow.sil()));
+  verdict["sil_name"] = obs::Json(fmea::silName(flow.sil()));
+  verdict["hft"] = obs::Json(flow.sheet().config().hft);
+  verdict["line"] = obs::Json(verdictLine(flow));
+  j["verdict"] = std::move(verdict);
+  return j;
+}
+
 }  // namespace socfmea::core

@@ -199,4 +199,57 @@ void printValidationFlow(std::ostream& out, const ValidationFlowReport& rep) {
   out << "overall: " << (rep.pass() ? "PASS" : "FAIL") << "\n";
 }
 
+obs::Json ValidationFlowReport::toJson() const {
+  obs::Json j = obs::Json::object();
+
+  obs::Json a = obs::Json::object();
+  a["campaign"] = zoneCampaign.toJson();
+  a["completeness"] = obs::Json(campaignCompleteness);
+  a["max_delta_s"] = obs::Json(zoneValidation.maxDeltaS);
+  a["max_delta_ddf"] = obs::Json(zoneValidation.maxDeltaDdf);
+  a["effects_consistent"] = obs::Json(zoneValidation.effectsConsistent);
+  obs::Json zoneRows = obs::Json::array();
+  for (const inject::ZoneComparison& z : zoneValidation.zones) {
+    obs::Json e = obs::Json::object();
+    e["zone"] = obs::Json(z.zone);
+    e["name"] = obs::Json(z.name);
+    e["estimated_s"] = obs::Json(z.estimatedS);
+    e["measured_s"] = obs::Json(z.measuredS);
+    e["estimated_ddf"] = obs::Json(z.estimatedDdf);
+    e["measured_ddf"] = obs::Json(z.measuredDdf);
+    e["samples"] = obs::Json(z.samples);
+    e["pass"] = obs::Json(z.pass);
+    zoneRows.push_back(std::move(e));
+  }
+  a["zones"] = std::move(zoneRows);
+  a["pass"] = obs::Json(stepAPass);
+  j["step_a"] = std::move(a);
+
+  obs::Json b = obs::Json::object();
+  b["nets"] = obs::Json(toggle.nets);
+  b["toggled_once"] = obs::Json(toggle.toggledOnce);
+  b["toggled_both"] = obs::Json(toggle.toggledBoth);
+  b["once_fraction"] = obs::Json(toggle.onceFraction());
+  b["both_fraction"] = obs::Json(toggle.bothFraction());
+  b["pass"] = obs::Json(stepBPass);
+  j["step_b"] = std::move(b);
+
+  obs::Json c = obs::Json::object();
+  c["campaign"] = localCampaign.toJson();
+  c["measured_sff"] = obs::Json(localMeasuredSff);
+  c["faultsim_coverage"] = obs::Json(faultSimCoverage);
+  c["sheet_permanent_ddf"] = obs::Json(sheetPermanentDdf);
+  c["pass"] = obs::Json(stepCPass);
+  j["step_c"] = std::move(c);
+
+  obs::Json d = obs::Json::object();
+  d["campaign"] = wideCampaign.toJson();
+  d["multi_zone_failures"] = obs::Json(multiZoneFailures);
+  d["pass"] = obs::Json(stepDPass);
+  j["step_d"] = std::move(d);
+
+  j["pass"] = obs::Json(pass());
+  return j;
+}
+
 }  // namespace socfmea::core

@@ -16,6 +16,7 @@
 #include "faultsim/serial.hpp"
 #include "faultsim/toggle.hpp"
 #include "inject/analyzer.hpp"
+#include "obs/json.hpp"
 
 namespace socfmea::core {
 
@@ -59,6 +60,10 @@ struct ValidationFlowReport {
   [[nodiscard]] bool pass() const {
     return stepAPass && stepBPass && stepCPass && stepDPass;
   }
+
+  /// Structured export: one section per validation step (a-d), each with its
+  /// campaign metrics, the step-specific measurements and the pass flag.
+  [[nodiscard]] obs::Json toJson() const;
 };
 
 /// Runs the full validation flow on a design analyzed by `flow`.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
+
 namespace socfmea::fault {
 
 using netlist::Cell;
@@ -50,6 +52,11 @@ CollapseStats collapseStuckAt(const netlist::Netlist& nl, FaultList& faults) {
   std::sort(faults.begin(), faults.end());
   faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
   stats.after = faults.size();
+
+  auto& reg = obs::Registry::global();
+  reg.add("fault.collapse.before", stats.before);
+  reg.add("fault.collapse.after", stats.after);
+  reg.set("fault.collapse.ratio", stats.ratio());
   return stats;
 }
 

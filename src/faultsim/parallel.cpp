@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace socfmea::faultsim {
 
 StimulusTrace recordStimulus(const netlist::Netlist& nl, sim::Workload& wl) {
@@ -50,10 +52,16 @@ FaultSimResult runParallelFaultSim(const netlist::Netlist& nl,
   res.total = faults.size();
   res.outcomes.assign(faults.size(), FaultOutcome::Undetected);
 
+  obs::ScopedTimer timer("faultsim.parallel");
+  std::uint64_t batches = 0;
+  std::uint64_t lanesUsed = 0;
+
   BitSim bs(nl);
   for (std::size_t base = 0; base < faults.size(); base += BitSim::kLanes - 1) {
     const std::size_t chunk =
         std::min(BitSim::kLanes - 1, faults.size() - base);
+    ++batches;
+    lanesUsed += chunk + 1;  // chunk fault lanes + the golden lane 0
     bs.clearForces();
     bs.reset();
     for (std::size_t i = 0; i < chunk; ++i) {
@@ -85,6 +93,19 @@ FaultSimResult runParallelFaultSim(const netlist::Netlist& nl,
         ++res.detected;
       }
     }
+  }
+
+  auto& reg = obs::Registry::global();
+  reg.add("faultsim.parallel.machines", res.total);
+  reg.add("faultsim.parallel.batches", batches);
+  reg.add("faultsim.parallel.lanes_used", lanesUsed);
+  reg.add("faultsim.parallel.batch_cycles", res.simulatedCycles);
+  reg.add("faultsim.detected", res.detected);
+  if (batches > 0) {
+    // Mean occupied lanes per 64-lane batch — how full the SIMD words ran.
+    reg.set("faultsim.parallel.lane_occupancy",
+            static_cast<double>(lanesUsed) /
+                (static_cast<double>(batches) * BitSim::kLanes));
   }
   return res;
 }

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/telemetry.hpp"
+
 namespace socfmea::faultsim {
 
 namespace {
@@ -41,6 +43,7 @@ GoldenTrace recordGolden(const netlist::Netlist& nl, sim::Workload& wl,
 FaultSimResult runSerialFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
                                  const fault::FaultList& faults,
                                  const FaultSimOptions& opt) {
+  obs::ScopedTimer timer("faultsim.serial");
   const GoldenTrace golden = recordGolden(nl, wl, opt);
 
   FaultSimResult res;
@@ -86,6 +89,11 @@ FaultSimResult runSerialFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
       ++res.detected;
     }
   }
+
+  auto& reg = obs::Registry::global();
+  reg.add("faultsim.serial.machines", res.total);
+  reg.add("faultsim.serial.cycles", res.simulatedCycles);
+  reg.add("faultsim.detected", res.detected);
   return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 
 namespace socfmea::faultsim {
 
@@ -67,7 +68,11 @@ FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
                            const FaultSimOptions& opt) {
   if (opt.threads == 1) return runSerialFaultSim(nl, wl, faults, opt);
 
-  const GoldenState g = recordGoldenState(nl, wl, opt);
+  obs::ScopedTimer timer("faultsim.threaded");
+  const GoldenState g = [&] {
+    obs::ScopedTimer t("faultsim.record_golden");
+    return recordGoldenState(nl, wl, opt);
+  }();
   // Workers replay the recorded stimulus and only re-execute backdoor()
   // (thread-safe by the Workload contract); restart arms any precomputed
   // plan the workload keeps.
@@ -157,6 +162,15 @@ FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
     res.convergedEarly += wk.converged;
     res.detected += wk.detected;
   }
+
+  auto& reg = obs::Registry::global();
+  reg.add("faultsim.threaded.machines", res.total);
+  reg.add("faultsim.threaded.cycles", res.simulatedCycles);
+  reg.add("faultsim.checkpoint_hits", res.checkpointHits);
+  reg.add("faultsim.checkpoint_cycles_skipped", res.checkpointCyclesSkipped);
+  reg.add("faultsim.converged_early", res.convergedEarly);
+  reg.add("faultsim.detected", res.detected);
+  reg.set("faultsim.threaded.workers", static_cast<double>(pool.size()));
   return res;
 }
 

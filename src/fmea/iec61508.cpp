@@ -15,6 +15,18 @@ std::string_view silName(Sil s) noexcept {
   return "?";
 }
 
+obs::Json toJson(const Lambdas& l) {
+  obs::Json j = obs::Json::object();
+  j["lambda_s"] = obs::Json(l.safe);
+  j["lambda_dd"] = obs::Json(l.dangerousDetected);
+  j["lambda_du"] = obs::Json(l.dangerousUndetected);
+  j["lambda_d"] = obs::Json(l.dangerous());
+  j["lambda_total"] = obs::Json(l.total());
+  j["dc"] = obs::Json(diagnosticCoverage(l));
+  j["sff"] = obs::Json(safeFailureFraction(l));
+  return j;
+}
+
 double diagnosticCoverage(const Lambdas& l) noexcept {
   const double d = l.dangerous();
   return d <= 0.0 ? 0.0 : l.dangerousDetected / d;

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/json.hpp"
+
 namespace socfmea::fmea {
 
 enum class Sil : std::uint8_t {
@@ -48,6 +50,11 @@ struct Lambdas {
     return *this;
   }
 };
+
+/// Structured export of a rate bundle and its derived IEC metrics:
+/// {"lambda_s", "lambda_dd", "lambda_du", "lambda_d", "lambda_total"
+///  (all FIT), "dc", "sff"}.
+[[nodiscard]] obs::Json toJson(const Lambdas& l);
 
 /// Diagnostic coverage λDD/λD; 0 when there are no dangerous failures.
 [[nodiscard]] double diagnosticCoverage(const Lambdas& l) noexcept;

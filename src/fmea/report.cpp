@@ -1,5 +1,6 @@
 #include "fmea/report.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 
@@ -129,6 +130,78 @@ void writeCsv(std::ostream& out, const FmeaSheet& sheet) {
         << r.ddfSw << ',' << r.lambdaS << ',' << r.lambdaDD << ','
         << r.lambdaDU << "\n";
   }
+}
+
+obs::Json FmeaSheet::toJson(std::size_t maxRows) const {
+  const auto persistenceName = [](Persistence p) -> std::string_view {
+    switch (p) {
+      case Persistence::Permanent: return "permanent";
+      case Persistence::Transient: return "transient";
+      case Persistence::Both: return "both";
+    }
+    return "?";
+  };
+
+  obs::Json j = obs::Json::object();
+  j["element_type"] =
+      obs::Json(cfg_.elementType == ElementType::TypeB ? "B" : "A");
+  j["hft"] = obs::Json(cfg_.hft);
+  j["row_count"] = obs::Json(rows_.size());
+  j["totals"] = fmea::toJson(totals());
+  j["sil"] = obs::Json(static_cast<unsigned>(sil()));
+  j["sil_name"] = obs::Json(silName(sil()));
+  j["pfh_per_hour"] = obs::Json(pfh());
+  j["sil_by_pfh"] = obs::Json(silName(silByPfh()));
+
+  // Per-zone aggregated rates, in first-appearance (sheet) order.
+  obs::Json& zoneArr = j["zones"];
+  zoneArr = obs::Json::array();
+  std::vector<socfmea::zones::ZoneId> seen;
+  for (const FmeaRow& r : rows_) {
+    if (std::find(seen.begin(), seen.end(), r.zone) != seen.end()) continue;
+    seen.push_back(r.zone);
+    obs::Json z = obs::Json::object();
+    z["zone"] = obs::Json(r.zone);
+    z["name"] = obs::Json(r.zoneName);
+    z["kind"] = obs::Json(socfmea::zones::zoneKindName(r.zoneKind));
+    z["rates"] = fmea::toJson(zoneTotals(r.zone));
+    zoneArr.push_back(std::move(z));
+  }
+
+  obs::Json& rank = j["ranking"];
+  rank = obs::Json::array();
+  for (const RankEntry& e : ranking()) {
+    obs::Json z = obs::Json::object();
+    z["zone"] = obs::Json(e.zone);
+    z["name"] = obs::Json(e.name);
+    z["lambda_du"] = obs::Json(e.lambdaDU);
+    z["share"] = obs::Json(e.share);
+    rank.push_back(std::move(z));
+  }
+
+  if (maxRows != 0) {
+    obs::Json& rows = j["rows"];
+    rows = obs::Json::array();
+    for (const FmeaRow& r : rows_) {
+      if (rows.size() >= maxRows) break;
+      obs::Json row = obs::Json::object();
+      row["zone"] = obs::Json(r.zoneName);
+      row["failure_mode"] = obs::Json(r.failureMode);
+      row["component"] = obs::Json(componentClassName(r.component));
+      row["persistence"] = obs::Json(persistenceName(r.persistence));
+      row["lambda"] = obs::Json(r.lambda);
+      row["s_combined"] = obs::Json(r.safe.combined());
+      row["freq"] = obs::Json(freqClassName(r.freq));
+      row["ddf"] = obs::Json(r.ddf);
+      row["ddf_hw"] = obs::Json(r.ddfHw);
+      row["ddf_sw"] = obs::Json(r.ddfSw);
+      row["lambda_s"] = obs::Json(r.lambdaS);
+      row["lambda_dd"] = obs::Json(r.lambdaDD);
+      row["lambda_du"] = obs::Json(r.lambdaDU);
+      rows.push_back(std::move(row));
+    }
+  }
+  return j;
 }
 
 }  // namespace socfmea::fmea

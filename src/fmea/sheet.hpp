@@ -154,6 +154,13 @@ class FmeaSheet {
   };
   [[nodiscard]] std::vector<RankEntry> ranking(std::size_t topN = 0) const;
 
+  /// Structured export: config, totals (λS/λDD/λDU with DC/SFF), the SIL
+  /// grant by both routes, the per-zone rate table, the criticality
+  /// ranking, and — when `maxRows` != 0 — up to `maxRows` full rows.
+  /// Everything in it is deterministic, so CI can diff it against a golden
+  /// report (defined in report.cpp).
+  [[nodiscard]] obs::Json toJson(std::size_t maxRows = 0) const;
+
  private:
   SheetConfig cfg_;
   std::vector<FmeaRow> rows_;

@@ -121,4 +121,23 @@ void CoverageCollector::print(std::ostream& out,
   }
 }
 
+obs::Json CoverageCollector::toJson() const {
+  obs::Json j = obs::Json::object();
+  j["injections"] = obs::Json(injections_);
+  j["sens_events"] = obs::Json(sensEvents_);
+  j["obse_mismatches"] = obs::Json(mismatches_);
+  j["diag_events"] = obs::Json(diagEvents_);
+  j["sens_coverage"] = obs::Json(sensCoverage());
+  j["obse_coverage"] = obs::Json(obseCoverage());
+  j["diag_coverage"] = obs::Json(diagCoverage());
+  j["completeness"] = obs::Json(completeness());
+  obs::Json unsensed = obs::Json::array();
+  for (zones::ZoneId z : unsensedZones()) unsensed.push_back(obs::Json(z));
+  j["unsensed_zones"] = std::move(unsensed);
+  obs::Json silent = obs::Json::array();
+  for (zones::ObsId o : silentObsPoints()) silent.push_back(obs::Json(o));
+  j["silent_obs_points"] = std::move(silent);
+  return j;
+}
+
 }  // namespace socfmea::inject

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "inject/monitors.hpp"
+#include "obs/json.hpp"
 
 namespace socfmea::inject {
 
@@ -51,6 +52,9 @@ class CoverageCollector {
   [[nodiscard]] std::vector<zones::ObsId> silentObsPoints() const;
 
   void print(std::ostream& out, const zones::ZoneDatabase& db) const;
+
+  /// Structured export of the event counters and all coverage figures.
+  [[nodiscard]] obs::Json toJson() const;
 
  private:
   const InjectionEnvironment* env_;

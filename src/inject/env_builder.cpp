@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/collapse.hpp"
+#include "obs/telemetry.hpp"
 
 namespace socfmea::inject {
 
@@ -103,6 +104,7 @@ std::size_t collapseAgainstProfile(const zones::ZoneDatabase& db,
       return profile.zone(z).triggered();
     });
   });
+  obs::Registry::global().add("inject.profile_dropped", before - faults.size());
   return before - faults.size();
 }
 

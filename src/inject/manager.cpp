@@ -5,6 +5,7 @@
 
 #include "core/thread_pool.hpp"
 #include "faultsim/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace socfmea::inject {
 
@@ -93,6 +94,43 @@ double CampaignResult::measuredSff(const OutcomeTally& t) {
 
 double CampaignResult::measuredSff() const { return measuredSff(tally()); }
 
+obs::Json OutcomeTally::toJson() const {
+  obs::Json j = obs::Json::object();
+  j["total"] = obs::Json(total);
+  for (const Outcome o :
+       {Outcome::NoEffect, Outcome::SafeMasked, Outcome::SafeDetected,
+        Outcome::DangerousDetected, Outcome::DangerousUndetected}) {
+    std::string key(outcomeName(o));
+    std::replace(key.begin(), key.end(), '-', '_');
+    j[key] = obs::Json(count(o));
+  }
+  j["activated"] = obs::Json(activated());
+  j["diag_fired"] = obs::Json(diagFired);
+  j["latency_sum"] = obs::Json(latencySum);
+  j["latency_max"] = obs::Json(latencyMax);
+  return j;
+}
+
+obs::Json CampaignResult::toJson() const {
+  const OutcomeTally t = tally();
+  obs::Json j = obs::Json::object();
+  obs::Json metrics = t.toJson();
+  metrics["measured_safe_fraction"] = obs::Json(measuredSafeFraction(t));
+  metrics["measured_ddf"] = obs::Json(measuredDdf(t));
+  metrics["measured_sff"] = obs::Json(measuredSff(t));
+  metrics["mean_detection_latency"] = obs::Json(meanDetectionLatency(t));
+  metrics["max_detection_latency"] = obs::Json(t.latencyMax);
+  j["metrics"] = std::move(metrics);
+
+  obs::Json exec = obs::Json::object();
+  exec["cycles_simulated"] = obs::Json(cyclesSimulated);
+  exec["checkpoint_hits"] = obs::Json(checkpointHits);
+  exec["checkpoint_cycles_skipped"] = obs::Json(checkpointCyclesSkipped);
+  exec["converged_early"] = obs::Json(convergedEarly);
+  j["execution"] = std::move(exec);
+  return j;
+}
+
 namespace {
 
 /// IEC classification of one observation; shared verbatim by the serial
@@ -128,11 +166,18 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
                                      CoverageCollector* coverage,
                                      const CampaignOptions& opt) {
   if (opt.threads != 1) return runParallel(wl, faults, coverage, opt);
+  obs::Registry& reg = obs::Registry::global();
+  obs::ScopedTimer campaignTimer("inject.campaign.serial");
   // Record the stimulus once; golden and every faulty machine replay it
   // (deterministic backdoor actions are re-executed on each machine).
-  const faultsim::StimulusTrace stim = faultsim::recordStimulus(*nl_, wl);
-  const GoldenReference golden =
-      recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values);
+  const faultsim::StimulusTrace stim = [&] {
+    const obs::ScopedTimer t("inject.record_stimulus");
+    return faultsim::recordStimulus(*nl_, wl);
+  }();
+  const GoldenReference golden = [&] {
+    const obs::ScopedTimer t("inject.record_golden");
+    return recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values);
+  }();
 
   CampaignResult result;
   result.records.reserve(faults.size());
@@ -192,6 +237,11 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
     if (coverage != nullptr) coverage->account(rec.obs);
     result.records.push_back(std::move(rec));
   }
+  reg.add("inject.campaigns");
+  reg.add("inject.faults_simulated", faults.size());
+  reg.add("inject.cycles_simulated", result.cyclesSimulated);
+  reg.add("inject.comb_evals", sim.perf().combEvals);
+  reg.add("inject.cell_evals", sim.perf().cellEvals);
   return result;
 }
 
@@ -199,11 +249,19 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
                                              const fault::FaultList& faults,
                                              CoverageCollector* coverage,
                                              const CampaignOptions& opt) {
-  const faultsim::StimulusTrace stim = faultsim::recordStimulus(*nl_, wl);
+  obs::Registry& reg = obs::Registry::global();
+  obs::ScopedTimer campaignTimer("inject.campaign.parallel");
+  const faultsim::StimulusTrace stim = [&] {
+    const obs::ScopedTimer t("inject.record_stimulus");
+    return faultsim::recordStimulus(*nl_, wl);
+  }();
   GoldenCheckpoints ckpts;
   ckpts.interval = opt.checkpointInterval;
-  const GoldenReference golden = recordGoldenReference(
-      *nl_, env_, wl, stim.inputs, stim.values, &ckpts);
+  const GoldenReference golden = [&] {
+    const obs::ScopedTimer t("inject.record_golden");
+    return recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values,
+                                 &ckpts);
+  }();
   // Workers replay the recorded stimulus and only re-execute backdoor()
   // (thread-safe by the Workload contract) — restart once so any plan the
   // workload precomputes is armed.
@@ -316,12 +374,35 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
     wk.coverage.account(rec.obs);
   });
 
+  std::uint64_t busiest = 0;
+  std::uint64_t combEvals = 0;
+  std::uint64_t cellEvals = 0;
   for (const Worker& wk : workers) {
     result.cyclesSimulated += wk.cycles;
     result.checkpointHits += wk.hits;
     result.checkpointCyclesSkipped += wk.skipped;
     result.convergedEarly += wk.converged;
+    busiest = std::max(busiest, wk.cycles);
+    combEvals += wk.sim.perf().combEvals;
+    cellEvals += wk.sim.perf().cellEvals;
     if (coverage != nullptr) coverage->merge(wk.coverage);
+  }
+  reg.add("inject.campaigns");
+  reg.add("inject.faults_simulated", faults.size());
+  reg.add("inject.cycles_simulated", result.cyclesSimulated);
+  reg.add("inject.comb_evals", combEvals);
+  reg.add("inject.cell_evals", cellEvals);
+  reg.add("inject.checkpoint_hits", result.checkpointHits);
+  reg.add("inject.checkpoint_cycles_skipped", result.checkpointCyclesSkipped);
+  reg.add("inject.converged_early", result.convergedEarly);
+  reg.set("inject.parallel.workers", static_cast<double>(pool.size()));
+  // Utilization: mean worker load over the busiest worker's load — 1.0 when
+  // the fault list spread evenly, small when one worker carried the tail.
+  if (busiest > 0) {
+    const double mean = static_cast<double>(result.cyclesSimulated) /
+                        static_cast<double>(workers.size());
+    reg.set("inject.parallel.worker_utilization",
+            mean / static_cast<double>(busiest));
   }
   return result;
 }

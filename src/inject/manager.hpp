@@ -11,6 +11,7 @@
 #include "fault/harness.hpp"
 #include "inject/coverage.hpp"
 #include "inject/monitors.hpp"
+#include "obs/json.hpp"
 
 namespace socfmea::inject {
 
@@ -53,6 +54,9 @@ struct OutcomeTally {
   [[nodiscard]] std::size_t activated() const noexcept {
     return total - count(Outcome::NoEffect);
   }
+
+  /// Structured export of every count (plus the latency aggregates).
+  [[nodiscard]] obs::Json toJson() const;
 };
 
 struct CampaignResult {
@@ -96,6 +100,15 @@ struct CampaignResult {
   [[nodiscard]] static double measuredSafeFraction(const OutcomeTally& t);
   [[nodiscard]] static double measuredDdf(const OutcomeTally& t);
   [[nodiscard]] static double measuredSff(const OutcomeTally& t);
+
+  /// Structured export in two sections:
+  ///   "metrics"   — outcome tally and every measured IEC figure; identical
+  ///                 between the serial oracle and the parallel engine for
+  ///                 the same fault list (that identity is CI-tested);
+  ///   "execution" — cycles simulated, checkpoint and convergence counters,
+  ///                 which legitimately depend on the engine and thread
+  ///                 count and are therefore excluded from golden diffs.
+  [[nodiscard]] obs::Json toJson() const;
 };
 
 struct CampaignOptions {

@@ -93,6 +93,8 @@ void Simulator::writeNet(NetId net, Logic v) {
 }
 
 void Simulator::settle() {
+  ++perf_.combEvals;
+  perf_.cellEvals += lev_.order.size();
   // Sources: inputs, FF outputs, memory read registers.
   for (CellId id = 0; id < nl_.cellCount(); ++id) {
     const Cell& c = nl_.cell(id);
@@ -151,6 +153,7 @@ void Simulator::evalComb() {
 }
 
 void Simulator::clockEdge() {
+  ++perf_.cycles;
   for (Observer& obs : observers_) obs(*this);
 
   // Memory ports sample the settled combinational values.

@@ -35,6 +35,18 @@ class Simulator {
   [[nodiscard]] const netlist::Netlist& design() const noexcept { return nl_; }
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
 
+  /// Lifetime activity counters (telemetry, not machine state): they are
+  /// excluded from snapshots, never restored, and stateEquals() ignores
+  /// them.  The campaign layers aggregate them into obs::Registry after a
+  /// run to report where the evaluation work went.
+  struct PerfCounters {
+    std::uint64_t cycles = 0;     ///< clockEdge() calls
+    std::uint64_t combEvals = 0;  ///< combinational settle passes
+    std::uint64_t cellEvals = 0;  ///< individual cell evaluations
+  };
+  [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
+  void resetPerf() noexcept { perf_ = {}; }
+
   /// Resets state: flip-flops to their init values, memory read registers to
   /// 0, cycle counter to 0.  Memory contents and injected faults are kept.
   void reset();
@@ -144,6 +156,7 @@ class Simulator {
   const netlist::Netlist& nl_;
   netlist::Levelization lev_;
   std::uint64_t cycle_ = 0;
+  PerfCounters perf_;
 
   std::vector<Logic> netVal_;           // per net
   std::vector<Logic> ffState_;          // per cell (Dff only meaningful)

@@ -146,4 +146,44 @@ bool EffectsModel::alarmReachable(ZoneId zone) const {
   return false;
 }
 
+obs::Json EffectsModel::toJson() const {
+  const auto kindName = [](ObsKind k) -> std::string_view {
+    switch (k) {
+      case ObsKind::PrimaryOutput: return "primary-output";
+      case ObsKind::Zone: return "zone";
+      case ObsKind::Alarm: return "alarm";
+    }
+    return "?";
+  };
+
+  obs::Json j = obs::Json::object();
+  obs::Json& points = j["points"];
+  points = obs::Json::array();
+  for (const ObservationPoint& p : points_) {
+    obs::Json e = obs::Json::object();
+    e["id"] = obs::Json(p.id);
+    e["kind"] = obs::Json(kindName(p.kind));
+    e["name"] = obs::Json(p.name);
+    if (p.kind == ObsKind::Zone) e["zone"] = obs::Json(p.zone);
+    points.push_back(std::move(e));
+  }
+
+  obs::Json& zoneEffects = j["zones"];
+  zoneEffects = obs::Json::array();
+  for (ZoneId z = 0; z < reach_.size(); ++z) {
+    obs::Json e = obs::Json::object();
+    e["zone"] = obs::Json(z);
+    e["name"] = obs::Json(db_->zone(z).name);
+    obs::Json main = obs::Json::array();
+    for (ObsId o : mainEffects(z)) main.push_back(obs::Json(o));
+    e["main"] = std::move(main);
+    obs::Json secondary = obs::Json::array();
+    for (ObsId o : secondaryEffects(z)) secondary.push_back(obs::Json(o));
+    e["secondary"] = std::move(secondary);
+    e["alarm_reachable"] = obs::Json(alarmReachable(z));
+    zoneEffects.push_back(std::move(e));
+  }
+  return j;
+}
+
 }  // namespace socfmea::zones

@@ -70,6 +70,11 @@ class EffectsModel {
   /// precondition for claiming diagnostic coverage on it.
   [[nodiscard]] bool alarmReachable(ZoneId zone) const;
 
+  /// Structured export: the observation-point inventory and, per zone, the
+  /// predicted main/secondary effect points plus alarm reachability — the
+  /// zone-level effects section of the machine-readable report.
+  [[nodiscard]] obs::Json toJson() const;
+
  private:
   void computeReach(const ZoneDatabase& db);
 

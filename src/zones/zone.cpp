@@ -100,4 +100,48 @@ ZoneDatabase::ScopeCensus ZoneDatabase::census(double globalFraction) const {
   return out;
 }
 
+obs::Json toJson(const ZoneDatabase& db) {
+  obs::Json j = obs::Json::object();
+  j["count"] = obs::Json(db.size());
+
+  obs::Json& byKind = j["by_kind"];
+  byKind = obs::Json::object();
+  std::size_t kindCount[7] = {};
+  for (const SensibleZone& z : db.zones()) {
+    ++kindCount[static_cast<std::size_t>(z.kind)];
+  }
+  for (std::size_t k = 0; k < 7; ++k) {
+    if (kindCount[k] == 0) continue;
+    byKind[zoneKindName(static_cast<ZoneKind>(k))] = obs::Json(kindCount[k]);
+  }
+
+  const ZoneDatabase::ScopeCensus census = db.census();
+  obs::Json c = obs::Json::object();
+  c["local"] = obs::Json(census.local);
+  c["wide"] = obs::Json(census.wide);
+  c["global"] = obs::Json(census.global);
+  c["unassigned"] = obs::Json(census.unassigned);
+  j["fault_site_census"] = std::move(c);
+
+  obs::Json& table = j["table"];
+  table = obs::Json::array();
+  for (const SensibleZone& z : db.zones()) {
+    obs::Json row = obs::Json::object();
+    row["zone"] = obs::Json(z.id);
+    row["name"] = obs::Json(z.name);
+    row["kind"] = obs::Json(zoneKindName(z.kind));
+    row["width"] = obs::Json(z.width());
+    row["ffs"] = obs::Json(z.ffs.size());
+    obs::Json cone = obs::Json::object();
+    cone["gates"] = obs::Json(z.stats.gateCount);
+    cone["nets"] = obs::Json(z.stats.netCount);
+    cone["support_ffs"] = obs::Json(z.stats.supportFfs);
+    cone["support_pis"] = obs::Json(z.stats.supportPis);
+    cone["support_mems"] = obs::Json(z.stats.supportMems);
+    row["cone"] = std::move(cone);
+    table.push_back(std::move(row));
+  }
+  return j;
+}
+
 }  // namespace socfmea::zones

@@ -12,6 +12,7 @@
 
 #include "netlist/netlist.hpp"
 #include "netlist/traversal.hpp"
+#include "obs/json.hpp"
 
 namespace socfmea::zones {
 
@@ -110,5 +111,10 @@ class ZoneDatabase {
   std::vector<std::vector<ZoneId>> coneMembership_;  // by CellId
   std::vector<ZoneId> ffOwner_;                      // by CellId
 };
+
+/// Structured export of the zone inventory: per-zone identity, kind, width
+/// and cone statistics, plus the by-kind histogram and the fault-site
+/// census — the "zone table" section of the machine-readable safety report.
+[[nodiscard]] obs::Json toJson(const ZoneDatabase& db);
 
 }  // namespace socfmea::zones

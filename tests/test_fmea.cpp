@@ -505,3 +505,50 @@ TEST(SheetTest, PfhConsistentWithTotals) {
   EXPECT_DOUBLE_EQ(sheet.pfh(), 100e-9);
   EXPECT_EQ(sheet.silByPfh(), fm::Sil::Sil2);  // 1e-7/h: SIL2 band edge
 }
+
+// ---------------------------------------------------------------------------
+// machine-readable export
+// ---------------------------------------------------------------------------
+
+TEST(SheetTest, JsonExportMatchesInMemorySheet) {
+  SheetFixture f;
+  fm::FmeaSheet sheet;
+  sheet.populateFromZones(f.db, fm::FitModel{});
+  sheet.compute();
+  const fm::Lambdas totals = sheet.totals();
+
+  // Serialize with the full row table, parse the dump back, and cross-check
+  // every headline figure against the in-memory sheet.
+  const auto j =
+      socfmea::obs::Json::parse(sheet.toJson(sheet.rows().size()).dump(2));
+  EXPECT_EQ(j.at("row_count").asInt(),
+            static_cast<std::int64_t>(sheet.rows().size()));
+  const auto& t = j.at("totals");
+  EXPECT_DOUBLE_EQ(t.at("lambda_s").asDouble(), totals.safe);
+  EXPECT_DOUBLE_EQ(t.at("lambda_dd").asDouble(), totals.dangerousDetected);
+  EXPECT_DOUBLE_EQ(t.at("lambda_du").asDouble(), totals.dangerousUndetected);
+  EXPECT_DOUBLE_EQ(t.at("sff").asDouble(), sheet.sff());
+  EXPECT_DOUBLE_EQ(t.at("dc").asDouble(), sheet.dc());
+  EXPECT_EQ(j.at("sil_name").asString(), fm::silName(sheet.sil()));
+  EXPECT_DOUBLE_EQ(j.at("pfh_per_hour").asDouble(), sheet.pfh());
+
+  // The row table is complete, and each row's lambda split adds up.
+  ASSERT_EQ(j.at("rows").size(), sheet.rows().size());
+  for (std::size_t i = 0; i < sheet.rows().size(); ++i) {
+    const auto& row = j.at("rows").at(i);
+    const auto& mem = sheet.rows()[i];
+    EXPECT_EQ(row.at("zone").asString(), mem.zoneName);
+    EXPECT_EQ(row.at("failure_mode").asString(), mem.failureMode);
+    EXPECT_NEAR(row.at("lambda_s").asDouble() +
+                    row.at("lambda_dd").asDouble() +
+                    row.at("lambda_du").asDouble(),
+                mem.lambda, 1e-9);
+  }
+
+  // Per-zone rates sum back to the sheet totals.
+  double zoneDu = 0.0;
+  for (std::size_t i = 0; i < j.at("zones").size(); ++i) {
+    zoneDu += j.at("zones").at(i).at("rates").at("lambda_du").asDouble();
+  }
+  EXPECT_NEAR(zoneDu, totals.dangerousUndetected, 1e-9);
+}

@@ -530,3 +530,53 @@ TEST(AnalyzerTest, EffectsTablePrinterShowsClassification) {
   EXPECT_NE(out.str().find("[main]"), std::string::npos);
   EXPECT_EQ(out.str().find("UNPREDICTED"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// machine-readable export
+// ---------------------------------------------------------------------------
+
+TEST(JsonExportTest, CampaignJsonMatchesInMemoryTally) {
+  Testbed tb;
+  auto wl = tb.workload(64);
+  const auto profile = ij::OperationalProfile::record(tb.db, wl);
+  ij::InjectionManager mgr(tb.n, tb.env());
+  ij::CoverageCollector coverage(mgr.environment());
+  const auto res =
+      mgr.run(wl, mgr.zoneFailureFaults(profile, 2, 9), &coverage);
+  const ij::OutcomeTally tally = res.tally();
+
+  // Round trip through the serializer + parser, then cross-check every
+  // figure against the in-memory tally.
+  const auto j = socfmea::obs::Json::parse(res.toJson().dump(2));
+  const auto& m = j.at("metrics");
+  EXPECT_EQ(m.at("total").asInt(),
+            static_cast<std::int64_t>(tally.total));
+  EXPECT_EQ(m.at("no_effect").asInt(),
+            static_cast<std::int64_t>(tally.count(ij::Outcome::NoEffect)));
+  EXPECT_EQ(m.at("safe_masked").asInt(),
+            static_cast<std::int64_t>(tally.count(ij::Outcome::SafeMasked)));
+  EXPECT_EQ(m.at("safe_detected").asInt(),
+            static_cast<std::int64_t>(tally.count(ij::Outcome::SafeDetected)));
+  EXPECT_EQ(
+      m.at("dangerous_detected").asInt(),
+      static_cast<std::int64_t>(tally.count(ij::Outcome::DangerousDetected)));
+  EXPECT_EQ(m.at("dangerous_undetected").asInt(),
+            static_cast<std::int64_t>(
+                tally.count(ij::Outcome::DangerousUndetected)));
+  EXPECT_EQ(m.at("activated").asInt(),
+            static_cast<std::int64_t>(tally.activated()));
+  EXPECT_DOUBLE_EQ(m.at("measured_sff").asDouble(),
+                   ij::CampaignResult::measuredSff(tally));
+  EXPECT_DOUBLE_EQ(m.at("measured_ddf").asDouble(),
+                   ij::CampaignResult::measuredDdf(tally));
+  const auto& e = j.at("execution");
+  EXPECT_EQ(e.at("cycles_simulated").asInt(),
+            static_cast<std::int64_t>(res.cyclesSimulated));
+
+  // Coverage export mirrors the collector.
+  const auto c = socfmea::obs::Json::parse(coverage.toJson().dump());
+  EXPECT_EQ(c.at("injections").asInt(),
+            static_cast<std::int64_t>(coverage.injections()));
+  EXPECT_DOUBLE_EQ(c.at("completeness").asDouble(), coverage.completeness());
+  EXPECT_EQ(c.at("unsensed_zones").size(), coverage.unsensedZones().size());
+}

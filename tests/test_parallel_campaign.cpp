@@ -428,3 +428,28 @@ TEST(TallyTest, MatchesPerOutcomeCounts) {
                    res.meanDetectionLatency());
   EXPECT_EQ(t.latencyMax, res.maxDetectionLatency());
 }
+
+TEST(ParallelCampaignTest, JsonMetricsSectionIdenticalSerialVsParallel) {
+  // The acceptance contract of the machine-readable report: the "metrics"
+  // section of CampaignResult::toJson() is byte-identical between the
+  // serial oracle and the parallel engine; only "execution" (cycles,
+  // checkpoint counters) may differ.
+  MemsysBed bed;
+  ms::ProtectionIpWorkload wl(bed.design, smallWorkload(260));
+  const auto faults = bed.sampleFaults(wl, 32);
+  ij::InjectionManager mgr(bed.design.nl, bed.env);
+
+  ij::CampaignOptions serialOpt;  // threads = 1
+  const auto serial = mgr.run(wl, faults, nullptr, serialOpt);
+  ij::CampaignOptions parOpt;
+  parOpt.threads = 4;
+  const auto parallel = mgr.run(wl, faults, nullptr, parOpt);
+
+  const auto metricsDump = [](const ij::CampaignResult& r) {
+    return r.toJson().at("metrics").dump(2);
+  };
+  EXPECT_EQ(metricsDump(serial), metricsDump(parallel));
+  // Sanity: the execution sections really do describe different engines.
+  EXPECT_LT(parallel.toJson().at("execution").at("cycles_simulated").asInt(),
+            serial.toJson().at("execution").at("cycles_simulated").asInt());
+}

@@ -229,7 +229,13 @@ TEST(SimulatorTest, MemorySynchronousReadWrite) {
   const auto d = b.inputBus("d", 8);
   const auto we = b.input("we");
   nl::Bus r(8);
-  for (int i = 0; i < 8; ++i) r[i] = n.addNet("r" + std::to_string(i));
+  for (int i = 0; i < 8; ++i) {
+    // Two-step concatenation: operator+(const char*, string&&) trips a GCC 12
+    // -Wrestrict false positive (PR 105651) under -O2, which -Werror promotes.
+    std::string name = "r";
+    name += std::to_string(i);
+    r[i] = n.addNet(name);
+  }
   nl::MemoryInst m;
   m.name = "m";
   m.addrBits = 2;
