@@ -1,0 +1,204 @@
+// Experiment SIMCORE: evaluation economy of the compiled design IR.  The
+// same serial memsys fault campaign (SEU + SET over the frmem-v2 protection
+// IP) runs twice — once with the whole-graph FullSettle oracle, once with
+// the event-driven per-level dirty worklist — and the outcomes are verified
+// bit-identical before any number is reported.  The headline figures
+// (cell-evaluation reduction, skip ratio, wall-clock) land in
+// BENCH_simcore.json for CI trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/fault_list.hpp"
+#include "inject/analyzer.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+struct Setup {
+  inject::InjectionEnvironment env;
+  memsys::ProtectionIpWorkload wl;
+  fault::FaultList faults;
+
+  Setup(std::uint64_t cycles, std::size_t nFaults)
+      : env(inject::EnvironmentBuilder(benchutil::frmem().flowV2.zones(),
+                                       benchutil::frmem().flowV2.effects())
+                .withSeed(4)
+                .withDetectionWindow(24)
+                .build()),
+        wl(benchutil::frmem().v2, benchutil::workloadOptions(cycles)) {
+    auto& f = benchutil::frmem();
+    const auto& db = f.flowV2.zones();
+    const auto profile =
+        inject::OperationalProfile::record(db, wl, wl.cycles());
+    fault::FaultList candidates = fault::allSeuFaults(f.v2.nl);
+    fault::append(candidates, fault::allSetFaults(f.v2.nl));
+    inject::collapseAgainstProfile(db, profile, candidates);
+    faults = inject::randomizeFaultList(db, profile, candidates, nFaults, 4);
+  }
+};
+
+struct Measurement {
+  double seconds = 0.0;
+  std::uint64_t cellEvals = 0;
+  std::uint64_t combEvals = 0;
+  inject::CampaignResult result;
+};
+
+Measurement timedRun(inject::InjectionManager& mgr, Setup& s,
+                     sim::EvalMode mode) {
+  inject::CampaignOptions opt;
+  opt.evalMode = mode;
+  obs::Registry& reg = obs::Registry::global();
+  Measurement m;
+  const std::uint64_t cells0 = reg.counter("inject.cell_evals");
+  const std::uint64_t combs0 = reg.counter("inject.comb_evals");
+  const auto t0 = std::chrono::steady_clock::now();
+  m.result = mgr.run(s.wl, s.faults, nullptr, opt);
+  m.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  m.cellEvals = reg.counter("inject.cell_evals") - cells0;
+  m.combEvals = reg.counter("inject.comb_evals") - combs0;
+  return m;
+}
+
+void printTable() {
+  benchutil::banner("SIMCORE",
+                    "event-driven vs full-settle evaluation core economy");
+  auto& f = benchutil::frmem();
+  Setup s(1000, 96);
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  const auto stats =
+      netlist::CompiledDesign(f.v2.nl).stats();  // shape, for the report
+  std::cout << "design frmem-v2: " << f.v2.nl.cellCount() << " cells, "
+            << stats.combCells << " combinational, " << stats.levels
+            << " levels (max width " << stats.maxLevelWidth << "), "
+            << stats.fanoutEdges << " fanout edges\n"
+            << "campaign: " << s.faults.size() << " transient faults, "
+            << s.wl.cycles() << "-cycle workload, serial engine\n\n";
+
+  const Measurement full = timedRun(mgr, s, sim::EvalMode::FullSettle);
+  const Measurement event = timedRun(mgr, s, sim::EvalMode::EventDriven);
+
+  // Identity gate: the economy only counts if the verdicts are unchanged.
+  bool identical = full.result.records.size() == event.result.records.size();
+  if (identical) {
+    for (std::size_t i = 0; i < full.result.records.size(); ++i) {
+      if (full.result.records[i].outcome != event.result.records[i].outcome) {
+        identical = false;
+      }
+    }
+  }
+  std::cout << "verdicts event-driven vs full-settle oracle: "
+            << (identical ? "IDENTICAL" : "** MISMATCH **") << "\n\n";
+
+  const double reduction = event.cellEvals > 0
+                               ? static_cast<double>(full.cellEvals) /
+                                     static_cast<double>(event.cellEvals)
+                               : 0.0;
+  const double possible = static_cast<double>(event.combEvals) *
+                          static_cast<double>(stats.combCells);
+  const double skip =
+      possible > 0
+          ? 1.0 - static_cast<double>(event.cellEvals) / possible
+          : 0.0;
+  std::cout << "mode         |  wall s | comb settles | cell evals\n";
+  std::printf("full-settle  | %7.2f | %12llu | %llu\n", full.seconds,
+              static_cast<unsigned long long>(full.combEvals),
+              static_cast<unsigned long long>(full.cellEvals));
+  std::printf("event-driven | %7.2f | %12llu | %llu\n", event.seconds,
+              static_cast<unsigned long long>(event.combEvals),
+              static_cast<unsigned long long>(event.cellEvals));
+  std::printf("cell-eval reduction %.2fx, eval-skip ratio %.1f%%, wall "
+              "speedup %.2fx\n\n",
+              reduction, skip * 100.0, full.seconds / event.seconds);
+
+  benchutil::JsonDump dump("BENCH_simcore.json");
+  dump.field("design", "frmem-v2")
+      .field("workload_cycles", s.wl.cycles())
+      .field("faults", static_cast<std::uint64_t>(s.faults.size()))
+      .field("identical_outcomes", identical)
+      .field("fullsettle_wall_s", full.seconds)
+      .field("event_wall_s", event.seconds)
+      .field("speedup", full.seconds / event.seconds)
+      .field("fullsettle_cell_evals", full.cellEvals)
+      .field("event_cell_evals", event.cellEvals)
+      .field("cell_eval_reduction", reduction)
+      .field("event_skip_ratio", skip)
+      .field("compiled_levels", static_cast<std::uint64_t>(stats.levels))
+      .field("compiled_max_level_width",
+             static_cast<std::uint64_t>(stats.maxLevelWidth))
+      .field("compiled_fanout_edges", stats.fanoutEdges);
+  dump.write();
+}
+
+Setup& benchSetup() {
+  static Setup s(600, 24);
+  return s;
+}
+
+void BM_CampaignFullSettle(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions opt;
+  opt.evalMode = sim::EvalMode::FullSettle;
+  for (auto _ : state) {
+    const auto res = mgr.run(s.wl, s.faults, nullptr, opt);
+    benchmark::DoNotOptimize(res.records.size());
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignFullSettle)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignEventDriven(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions opt;
+  opt.evalMode = sim::EvalMode::EventDriven;
+  for (auto _ : state) {
+    const auto res = mgr.run(s.wl, s.faults, nullptr, opt);
+    benchmark::DoNotOptimize(res.records.size());
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignEventDriven)->Unit(benchmark::kMillisecond);
+
+// Single-machine microbenchmark: one input bit toggles per cycle, the rest
+// of the design is quiescent — the best case for the dirty worklist and the
+// common shape inside a fault campaign's lockstep replay.
+void BM_SettleOneBitToggle(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  const auto cd = netlist::compile(f.v2.nl);
+  sim::Simulator sim(cd);
+  sim.setEvalMode(static_cast<sim::EvalMode>(state.range(0)));
+  const auto inputs = f.v2.nl.primaryInputs();
+  const netlist::NetId toggled = f.v2.nl.cell(inputs.front()).output;
+  bool v = false;
+  sim.evalComb();
+  for (auto _ : state) {
+    v = !v;
+    sim.setInput(toggled, sim::fromBool(v));
+    sim.evalComb();
+    benchmark::DoNotOptimize(sim.cycle());
+  }
+}
+BENCHMARK(BM_SettleOneBitToggle)
+    ->Arg(static_cast<int>(sim::EvalMode::EventDriven))
+    ->Arg(static_cast<int>(sim::EvalMode::FullSettle))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

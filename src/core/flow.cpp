@@ -4,8 +4,10 @@ namespace socfmea::core {
 
 FmeaFlow::FmeaFlow(const netlist::Netlist& nl, FlowConfig cfg)
     : nl_(&nl), cfg_(std::move(cfg)), sheet_(cfg_.sheet) {
+  // Compile once; the database carries the compiled design so the effects
+  // model and any InjectionManager built on it reuse the same flattening.
   zones_ = std::make_unique<zones::ZoneDatabase>(
-      zones::extractZones(nl, cfg_.extract));
+      zones::extractZones(netlist::compile(nl), cfg_.extract));
   effects_ = std::make_unique<zones::EffectsModel>(*zones_, cfg_.alarmNames);
   corr_ = std::make_unique<zones::CorrelationMatrix>(*zones_);
   sheet_ = buildSheet(cfg_.fit);

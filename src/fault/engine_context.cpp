@@ -1,0 +1,4 @@
+#include "fault/engine_context.hpp"
+
+// Header-only today; this TU anchors the target and keeps a home for any
+// future out-of-line context state (e.g. cached observation-point tables).

@@ -1,0 +1,44 @@
+// Shared per-campaign evaluation context: the design plus its compiled IR,
+// built once and handed to every fault-campaign engine and worker so a
+// design is levelized and flattened exactly once per campaign instead of
+// once per Simulator / BitSim / golden-recorder instance.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/compiled.hpp"
+#include "netlist/netlist.hpp"
+
+namespace socfmea::fault {
+
+class EngineContext {
+ public:
+  /// Compiles the design (throws NetlistError on combinational cycles).
+  explicit EngineContext(const netlist::Netlist& nl)
+      : nl_(&nl), cd_(netlist::compile(nl)) {}
+
+  /// Adopts an existing compiled form (must be compiled from `nl`).
+  EngineContext(const netlist::Netlist& nl, netlist::CompiledDesignPtr cd)
+      : nl_(&nl), cd_(std::move(cd)) {
+    if (&cd_->design() != nl_) {
+      throw std::invalid_argument(
+          "EngineContext: compiled design does not match the netlist");
+    }
+  }
+
+  [[nodiscard]] const netlist::Netlist& design() const noexcept { return *nl_; }
+  [[nodiscard]] const netlist::CompiledDesign& compiled() const noexcept {
+    return *cd_;
+  }
+  /// Shared handle for constructing Simulators / workers.
+  [[nodiscard]] const netlist::CompiledDesignPtr& compiledPtr() const noexcept {
+    return cd_;
+  }
+
+ private:
+  const netlist::Netlist* nl_;
+  netlist::CompiledDesignPtr cd_;
+};
+
+}  // namespace socfmea::fault

@@ -4,41 +4,38 @@
 
 namespace socfmea::faultsim {
 
-using netlist::Cell;
 using netlist::CellId;
 using netlist::CellType;
-using netlist::DffPins;
 using netlist::kNoNet;
 using netlist::NetId;
 
-BitSim::BitSim(const netlist::Netlist& nl)
-    : nl_(nl), lev_(netlist::levelize(nl)) {
-  if (nl.memoryCount() != 0) {
+BitSim::BitSim(const netlist::Netlist& nl) : BitSim(netlist::compile(nl)) {}
+
+BitSim::BitSim(netlist::CompiledDesignPtr cd)
+    : cd_(std::move(cd)), nl_(cd_->design()) {
+  if (nl_.memoryCount() != 0) {
     throw std::invalid_argument(
         "BitSim does not support behavioural memories; use the serial engine");
   }
-  netWord_.assign(nl.netCount(), 0);
-  ffWord_.assign(nl.cellCount(), 0);
-  inputWord_.assign(nl.cellCount(), 0);
+  netWord_.assign(cd_->netCount(), 0);
+  ffWord_.assign(cd_->cellCount(), 0);
+  inputWord_.assign(cd_->cellCount(), 0);
   reset();
 }
 
 void BitSim::reset() {
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type == CellType::Dff) {
-      ffWord_[id] = c.dffInit ? ~std::uint64_t{0} : 0;
-    }
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    ffWord_[ffs[i]] = cd_->ffInit(i) ? ~std::uint64_t{0} : 0;
   }
 }
 
 void BitSim::setInputAll(NetId net, bool v) {
-  const auto& n = nl_.net(net);
-  if (n.driver == netlist::kNoCell ||
-      nl_.cell(n.driver).type != CellType::Input) {
+  const netlist::NetSource& src = cd_->netSource(net);
+  if (src.kind != netlist::NetSourceKind::Input) {
     throw std::invalid_argument("setInputAll on a non-input net");
   }
-  inputWord_[n.driver] = v ? ~std::uint64_t{0} : 0;
+  inputWord_[src.id] = v ? ~std::uint64_t{0} : 0;
 }
 
 void BitSim::writeNet(NetId net, std::uint64_t w) {
@@ -52,75 +49,76 @@ void BitSim::writeNet(NetId net, std::uint64_t w) {
 }
 
 void BitSim::evalComb() {
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type == CellType::Input) {
-      writeNet(c.output, inputWord_[id]);
-    } else if (c.type == CellType::Dff) {
-      writeNet(c.output, ffWord_[id]);
-    }
+  for (CellId id : cd_->inputs()) {
+    writeNet(cd_->cellOutput(id), inputWord_[id]);
   }
-  for (CellId id : lev_.order) {
-    const Cell& c = nl_.cell(id);
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    writeNet(cd_->ffOutput(i), ffWord_[ffs[i]]);
+  }
+  const std::uint32_t count = cd_->combCount();
+  for (std::uint32_t pos = 0; pos < count; ++pos) {
+    const auto ins = cd_->combInputs(pos);
     std::uint64_t w = 0;
-    switch (c.type) {
+    switch (cd_->combType(pos)) {
       case CellType::Const0: w = 0; break;
       case CellType::Const1: w = ~std::uint64_t{0}; break;
-      case CellType::Buf: w = netWord_[c.inputs[0]]; break;
-      case CellType::Not: w = ~netWord_[c.inputs[0]]; break;
+      case CellType::Buf: w = netWord_[ins[0]]; break;
+      case CellType::Not: w = ~netWord_[ins[0]]; break;
       case CellType::And: {
         w = ~std::uint64_t{0};
-        for (NetId in : c.inputs) w &= netWord_[in];
+        for (NetId in : ins) w &= netWord_[in];
         break;
       }
       case CellType::Nand: {
         w = ~std::uint64_t{0};
-        for (NetId in : c.inputs) w &= netWord_[in];
+        for (NetId in : ins) w &= netWord_[in];
         w = ~w;
         break;
       }
       case CellType::Or: {
-        for (NetId in : c.inputs) w |= netWord_[in];
+        for (NetId in : ins) w |= netWord_[in];
         break;
       }
       case CellType::Nor: {
-        for (NetId in : c.inputs) w |= netWord_[in];
+        for (NetId in : ins) w |= netWord_[in];
         w = ~w;
         break;
       }
       case CellType::Xor: {
-        for (NetId in : c.inputs) w ^= netWord_[in];
+        for (NetId in : ins) w ^= netWord_[in];
         break;
       }
       case CellType::Xnor: {
-        for (NetId in : c.inputs) w ^= netWord_[in];
+        for (NetId in : ins) w ^= netWord_[in];
         w = ~w;
         break;
       }
       case CellType::Mux2: {
-        const std::uint64_t sel = netWord_[c.inputs[0]];
-        w = (netWord_[c.inputs[1]] & ~sel) | (netWord_[c.inputs[2]] & sel);
+        const std::uint64_t sel = netWord_[ins[0]];
+        w = (netWord_[ins[1]] & ~sel) | (netWord_[ins[2]] & sel);
         break;
       }
       default:
         continue;
     }
-    writeNet(c.output, w);
+    writeNet(cd_->combOutput(pos), w);
   }
 }
 
 void BitSim::clockEdge() {
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type != CellType::Dff) continue;
-    const std::uint64_t d = netWord_[c.inputs[DffPins::kD]];
-    const std::uint64_t en = c.inputs[DffPins::kEn] == kNoNet
-                                 ? ~std::uint64_t{0}
-                                 : netWord_[c.inputs[DffPins::kEn]];
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const CellId id = ffs[i];
+    const std::uint64_t d = netWord_[cd_->ffD(i)];
+    const NetId enNet = cd_->ffEn(i);
+    const std::uint64_t en =
+        enNet == kNoNet ? ~std::uint64_t{0} : netWord_[enNet];
     std::uint64_t next = (ffWord_[id] & ~en) | (d & en);
-    if (c.inputs[DffPins::kRst] != kNoNet) {
-      const std::uint64_t rst = netWord_[c.inputs[DffPins::kRst]];
-      const std::uint64_t init = c.dffInit ? ~std::uint64_t{0} : 0;
+    const NetId rstNet = cd_->ffRst(i);
+    if (rstNet != kNoNet) {
+      const std::uint64_t rst = netWord_[rstNet];
+      const std::uint64_t init = cd_->ffInit(i) ? ~std::uint64_t{0} : 0;
       next = (next & ~rst) | (init & rst);
     }
     ffWord_[id] = next;

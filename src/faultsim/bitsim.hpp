@@ -4,6 +4,9 @@
 // one stuck-at fault, so a single pass simulates 63 faults against the
 // golden reference — the classic parallel fault simulation speed-up.
 //
+// Evaluation walks the compiled design's levelized SoA core, the same flat
+// order the 4-state Simulator settles in.
+//
 // Restrictions: two-state only (flip-flops start at their init value) and no
 // behavioural memories (designs with memories use the serial engine).
 #pragma once
@@ -12,7 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "netlist/levelize.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
 
 namespace socfmea::faultsim {
@@ -21,7 +24,10 @@ class BitSim {
  public:
   static constexpr std::size_t kLanes = 64;
 
+  /// Compiles the netlist privately.
   explicit BitSim(const netlist::Netlist& nl);
+  /// Shares a pre-compiled design with the rest of the campaign.
+  explicit BitSim(netlist::CompiledDesignPtr cd);
 
   [[nodiscard]] const netlist::Netlist& design() const noexcept { return nl_; }
 
@@ -47,8 +53,8 @@ class BitSim {
  private:
   void writeNet(netlist::NetId net, std::uint64_t w);
 
+  netlist::CompiledDesignPtr cd_;
   const netlist::Netlist& nl_;
-  netlist::Levelization lev_;
   std::vector<std::uint64_t> netWord_;
   std::vector<std::uint64_t> ffWord_;     // by CellId
   std::vector<std::uint64_t> inputWord_;  // by CellId

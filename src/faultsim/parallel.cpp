@@ -7,11 +7,18 @@
 namespace socfmea::faultsim {
 
 StimulusTrace recordStimulus(const netlist::Netlist& nl, sim::Workload& wl) {
+  const fault::EngineContext ctx(nl);
+  return recordStimulus(ctx, wl);
+}
+
+StimulusTrace recordStimulus(const fault::EngineContext& ctx,
+                             sim::Workload& wl) {
+  const netlist::Netlist& nl = ctx.design();
   StimulusTrace t;
   for (netlist::CellId pi : nl.primaryInputs()) {
     t.inputs.push_back(nl.cell(pi).output);
   }
-  sim::Simulator sim(nl);
+  sim::Simulator sim(ctx.compiledPtr());
   wl.restart();
   sim.reset();
   t.values.reserve(wl.cycles());
@@ -34,6 +41,15 @@ FaultSimResult runParallelFaultSim(const netlist::Netlist& nl,
                                    const StimulusTrace& stim,
                                    const fault::FaultList& faults,
                                    const FaultSimOptions& opt) {
+  const fault::EngineContext ctx(nl);
+  return runParallelFaultSim(ctx, stim, faults, opt);
+}
+
+FaultSimResult runParallelFaultSim(const fault::EngineContext& ctx,
+                                   const StimulusTrace& stim,
+                                   const fault::FaultList& faults,
+                                   const FaultSimOptions& opt) {
+  const netlist::Netlist& nl = ctx.design();
   for (const fault::Fault& f : faults) {
     if (f.kind != fault::FaultKind::StuckAt0 &&
         f.kind != fault::FaultKind::StuckAt1) {
@@ -56,7 +72,7 @@ FaultSimResult runParallelFaultSim(const netlist::Netlist& nl,
   std::uint64_t batches = 0;
   std::uint64_t lanesUsed = 0;
 
-  BitSim bs(nl);
+  BitSim bs(ctx.compiledPtr());
   for (std::size_t base = 0; base < faults.size(); base += BitSim::kLanes - 1) {
     const std::size_t chunk =
         std::min(BitSim::kLanes - 1, faults.size() - base);

@@ -24,10 +24,19 @@ struct StimulusTrace {
 [[nodiscard]] StimulusTrace recordStimulus(const netlist::Netlist& nl,
                                            sim::Workload& wl);
 
+/// EngineContext form: the recording Simulator shares the compiled design.
+[[nodiscard]] StimulusTrace recordStimulus(const fault::EngineContext& ctx,
+                                           sim::Workload& wl);
+
 /// Runs the fault list 63-at-a-time.  Only StuckAt0/StuckAt1 faults are
 /// supported; throws std::invalid_argument otherwise.
 [[nodiscard]] FaultSimResult runParallelFaultSim(
     const netlist::Netlist& nl, const StimulusTrace& stim,
+    const fault::FaultList& faults, const FaultSimOptions& opt = {});
+
+/// EngineContext form: BitSim reuses the campaign's compiled design.
+[[nodiscard]] FaultSimResult runParallelFaultSim(
+    const fault::EngineContext& ctx, const StimulusTrace& stim,
     const fault::FaultList& faults, const FaultSimOptions& opt = {});
 
 }  // namespace socfmea::faultsim

@@ -18,12 +18,20 @@ std::vector<netlist::CellId> resolveOutputs(const netlist::Netlist& nl,
 
 GoldenTrace recordGolden(const netlist::Netlist& nl, sim::Workload& wl,
                          const FaultSimOptions& opt) {
+  const fault::EngineContext ctx(nl);
+  return recordGolden(ctx, wl, opt);
+}
+
+GoldenTrace recordGolden(const fault::EngineContext& ctx, sim::Workload& wl,
+                         const FaultSimOptions& opt) {
+  const netlist::Netlist& nl = ctx.design();
   GoldenTrace g;
   g.outputs = resolveOutputs(nl, opt);
   for (netlist::CellId po : g.outputs) {
     g.nets.push_back(nl.cell(po).inputs[0]);
   }
-  sim::Simulator sim(nl);
+  sim::Simulator sim(ctx.compiledPtr());
+  sim.setEvalMode(opt.evalMode);
   wl.restart();
   sim.reset();
   g.values.reserve(wl.cycles());
@@ -43,14 +51,24 @@ GoldenTrace recordGolden(const netlist::Netlist& nl, sim::Workload& wl,
 FaultSimResult runSerialFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
                                  const fault::FaultList& faults,
                                  const FaultSimOptions& opt) {
+  const fault::EngineContext ctx(nl);
+  return runSerialFaultSim(ctx, wl, faults, opt);
+}
+
+FaultSimResult runSerialFaultSim(const fault::EngineContext& ctx,
+                                 sim::Workload& wl,
+                                 const fault::FaultList& faults,
+                                 const FaultSimOptions& opt) {
   obs::ScopedTimer timer("faultsim.serial");
-  const GoldenTrace golden = recordGolden(nl, wl, opt);
+  const netlist::Netlist& nl = ctx.design();
+  const GoldenTrace golden = recordGolden(ctx, wl, opt);
 
   FaultSimResult res;
   res.total = faults.size();
   res.outcomes.assign(faults.size(), FaultOutcome::Undetected);
 
-  sim::Simulator sim(nl);
+  sim::Simulator sim(ctx.compiledPtr());
+  sim.setEvalMode(opt.evalMode);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     fault::FaultHarness harness(faults[fi]);
     wl.restart();

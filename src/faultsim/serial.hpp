@@ -9,8 +9,10 @@
 #include <iosfwd>
 #include <vector>
 
+#include "fault/engine_context.hpp"
 #include "fault/fault_list.hpp"
 #include "fault/harness.hpp"
+#include "sim/simulator.hpp"
 #include "sim/workload.hpp"
 
 namespace socfmea::faultsim {
@@ -53,6 +55,10 @@ struct FaultSimOptions {
   /// Golden-checkpoint spacing for the threaded engine; 0 picks
   /// max(1, workloadCycles / 16).  Ignored when threads = 1.
   std::uint64_t checkpointInterval = 0;
+  /// Combinational evaluation strategy for every machine in the campaign.
+  /// Both settle to bit-identical values; FullSettle is the ablation
+  /// baseline for benchmarks.
+  sim::EvalMode evalMode = sim::EvalMode::EventDriven;
 };
 
 /// Golden per-cycle values of the observed outputs.
@@ -67,8 +73,20 @@ struct GoldenTrace {
                                        sim::Workload& wl,
                                        const FaultSimOptions& opt = {});
 
-/// Runs the whole fault list serially.
+/// EngineContext form: shares a pre-compiled design (no re-levelization).
+[[nodiscard]] GoldenTrace recordGolden(const fault::EngineContext& ctx,
+                                       sim::Workload& wl,
+                                       const FaultSimOptions& opt = {});
+
+/// Runs the whole fault list serially.  The Netlist form compiles the
+/// design once internally; campaign layers holding an EngineContext use
+/// the overload below to share the compiled form across engines.
 [[nodiscard]] FaultSimResult runSerialFaultSim(const netlist::Netlist& nl,
+                                               sim::Workload& wl,
+                                               const fault::FaultList& faults,
+                                               const FaultSimOptions& opt = {});
+
+[[nodiscard]] FaultSimResult runSerialFaultSim(const fault::EngineContext& ctx,
                                                sim::Workload& wl,
                                                const fault::FaultList& faults,
                                                const FaultSimOptions& opt = {});

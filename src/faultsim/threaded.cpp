@@ -17,8 +17,9 @@ struct GoldenState {
   std::vector<sim::Simulator::Snapshot> snaps;  ///< snaps[i] at cycle i*interval
 };
 
-GoldenState recordGoldenState(const netlist::Netlist& nl, sim::Workload& wl,
-                              const FaultSimOptions& opt) {
+GoldenState recordGoldenState(const fault::EngineContext& ctx,
+                              sim::Workload& wl, const FaultSimOptions& opt) {
+  const netlist::Netlist& nl = ctx.design();
   GoldenState g;
   g.trace.outputs =
       opt.observedOutputs.empty() ? nl.primaryOutputs() : opt.observedOutputs;
@@ -32,7 +33,8 @@ GoldenState recordGoldenState(const netlist::Netlist& nl, sim::Workload& wl,
                    ? opt.checkpointInterval
                    : std::max<std::uint64_t>(1, wl.cycles() / 16);
 
-  sim::Simulator sim(nl);
+  sim::Simulator sim(ctx.compiledPtr());
+  sim.setEvalMode(opt.evalMode);
   wl.restart();
   sim.reset();
   g.trace.values.reserve(wl.cycles());
@@ -66,12 +68,19 @@ GoldenState recordGoldenState(const netlist::Netlist& nl, sim::Workload& wl,
 FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
                            const fault::FaultList& faults,
                            const FaultSimOptions& opt) {
-  if (opt.threads == 1) return runSerialFaultSim(nl, wl, faults, opt);
+  const fault::EngineContext ctx(nl);
+  return runFaultSim(ctx, wl, faults, opt);
+}
+
+FaultSimResult runFaultSim(const fault::EngineContext& ctx, sim::Workload& wl,
+                           const fault::FaultList& faults,
+                           const FaultSimOptions& opt) {
+  if (opt.threads == 1) return runSerialFaultSim(ctx, wl, faults, opt);
 
   obs::ScopedTimer timer("faultsim.threaded");
   const GoldenState g = [&] {
     obs::ScopedTimer t("faultsim.record_golden");
-    return recordGoldenState(nl, wl, opt);
+    return recordGoldenState(ctx, wl, opt);
   }();
   // Workers replay the recorded stimulus and only re-execute backdoor()
   // (thread-safe by the Workload contract); restart arms any precomputed
@@ -90,13 +99,19 @@ FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
     std::uint64_t converged = 0;
     std::size_t detected = 0;
 
-    explicit Worker(const netlist::Netlist& n) : sim(n) {}
+    explicit Worker(const netlist::CompiledDesignPtr& cd,
+                    sim::EvalMode mode)
+        : sim(cd) {
+      sim.setEvalMode(mode);
+    }
   };
 
   core::ThreadPool pool(opt.threads);
   std::vector<Worker> workers;
   workers.reserve(pool.size());
-  for (unsigned w = 0; w < pool.size(); ++w) workers.emplace_back(nl);
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    workers.emplace_back(ctx.compiledPtr(), opt.evalMode);
+  }
 
   pool.parallelFor(faults.size(), 1, [&](unsigned w, std::size_t fi) {
     Worker& wk = workers[w];

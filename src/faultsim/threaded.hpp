@@ -23,4 +23,11 @@ namespace socfmea::faultsim {
                                          const fault::FaultList& faults,
                                          const FaultSimOptions& opt = {});
 
+/// EngineContext form: the golden recorder and every worker Simulator share
+/// the context's compiled design instead of each re-levelizing the netlist.
+[[nodiscard]] FaultSimResult runFaultSim(const fault::EngineContext& ctx,
+                                         sim::Workload& wl,
+                                         const fault::FaultList& faults,
+                                         const FaultSimOptions& opt = {});
+
 }  // namespace socfmea::faultsim

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "netlist/levelize.hpp"
+
 namespace socfmea::faultsim {
 
 namespace {

@@ -4,10 +4,42 @@
 #include <ostream>
 
 #include "core/thread_pool.hpp"
+#include "fault/engine_context.hpp"
 #include "faultsim/parallel.hpp"
 #include "obs/telemetry.hpp"
 
 namespace socfmea::inject {
+
+InjectionManager::InjectionManager(const netlist::Netlist& nl,
+                                   InjectionEnvironment env)
+    : nl_(&nl), env_(std::move(env)) {
+  if (env_.zones != nullptr && &env_.zones->design() == &nl &&
+      env_.zones->compiledShared() != nullptr) {
+    cd_ = env_.zones->compiledShared();
+  } else {
+    cd_ = netlist::compile(nl);
+  }
+}
+
+void InjectionManager::exportEvalTelemetry(
+    const sim::Simulator::PerfCounters& perf) const {
+  obs::Registry& reg = obs::Registry::global();
+  const netlist::CompiledDesign::Stats s = cd_->stats();
+  reg.set("sim.compiled.levels", static_cast<double>(s.levels));
+  reg.set("sim.compiled.max_level_width",
+          static_cast<double>(s.maxLevelWidth));
+  reg.set("sim.compiled.fanout_edges", static_cast<double>(s.fanoutEdges));
+  reg.add("inject.full_settles", perf.fullSettles);
+  reg.add("inject.event_settles", perf.eventSettles);
+  // Fraction of gate evaluations the event-driven worklist skipped relative
+  // to settling the whole graph every pass.
+  const double possible = static_cast<double>(perf.combEvals) *
+                          static_cast<double>(s.combCells);
+  if (possible > 0) {
+    reg.set("inject.eval_skip_ratio",
+            1.0 - static_cast<double>(perf.cellEvals) / possible);
+  }
+}
 
 std::string_view outcomeName(Outcome o) noexcept {
   switch (o) {
@@ -170,20 +202,23 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
   obs::ScopedTimer campaignTimer("inject.campaign.serial");
   // Record the stimulus once; golden and every faulty machine replay it
   // (deterministic backdoor actions are re-executed on each machine).
+  const fault::EngineContext ctx(*nl_, cd_);
   const faultsim::StimulusTrace stim = [&] {
     const obs::ScopedTimer t("inject.record_stimulus");
-    return faultsim::recordStimulus(*nl_, wl);
+    return faultsim::recordStimulus(ctx, wl);
   }();
   const GoldenReference golden = [&] {
     const obs::ScopedTimer t("inject.record_golden");
-    return recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values);
+    return recordGoldenReference(cd_, env_, wl, stim.inputs, stim.values,
+                                 nullptr, opt.evalMode);
   }();
 
   CampaignResult result;
   result.records.reserve(faults.size());
   LockstepMonitors monitors(env_, golden);
 
-  sim::Simulator sim(*nl_);
+  sim::Simulator sim(cd_);
+  sim.setEvalMode(opt.evalMode);
   for (const fault::Fault& f : faults) {
     InjectionRecord rec;
     rec.fault = f;
@@ -242,6 +277,7 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
   reg.add("inject.cycles_simulated", result.cyclesSimulated);
   reg.add("inject.comb_evals", sim.perf().combEvals);
   reg.add("inject.cell_evals", sim.perf().cellEvals);
+  exportEvalTelemetry(sim.perf());
   return result;
 }
 
@@ -251,16 +287,17 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
                                              const CampaignOptions& opt) {
   obs::Registry& reg = obs::Registry::global();
   obs::ScopedTimer campaignTimer("inject.campaign.parallel");
+  const fault::EngineContext ctx(*nl_, cd_);
   const faultsim::StimulusTrace stim = [&] {
     const obs::ScopedTimer t("inject.record_stimulus");
-    return faultsim::recordStimulus(*nl_, wl);
+    return faultsim::recordStimulus(ctx, wl);
   }();
   GoldenCheckpoints ckpts;
   ckpts.interval = opt.checkpointInterval;
   const GoldenReference golden = [&] {
     const obs::ScopedTimer t("inject.record_golden");
-    return recordGoldenReference(*nl_, env_, wl, stim.inputs, stim.values,
-                                 &ckpts);
+    return recordGoldenReference(cd_, env_, wl, stim.inputs, stim.values,
+                                 &ckpts, opt.evalMode);
   }();
   // Workers replay the recorded stimulus and only re-execute backdoor()
   // (thread-safe by the Workload contract) — restart once so any plan the
@@ -281,16 +318,18 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
     std::uint64_t skipped = 0;
     std::uint64_t converged = 0;
 
-    Worker(const netlist::Netlist& nl, const InjectionEnvironment& env,
-           const GoldenReference& golden)
-        : sim(nl), monitors(env, golden), coverage(env) {}
+    Worker(const netlist::CompiledDesignPtr& cd, sim::EvalMode mode,
+           const InjectionEnvironment& env, const GoldenReference& golden)
+        : sim(cd), monitors(env, golden), coverage(env) {
+      sim.setEvalMode(mode);
+    }
   };
 
   core::ThreadPool pool(opt.threads);
   std::vector<Worker> workers;
   workers.reserve(pool.size());
   for (unsigned w = 0; w < pool.size(); ++w) {
-    workers.emplace_back(*nl_, env_, golden);
+    workers.emplace_back(cd_, opt.evalMode, env_, golden);
   }
 
   pool.parallelFor(faults.size(), 1, [&](unsigned w, std::size_t fi) {
@@ -375,23 +414,25 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
   });
 
   std::uint64_t busiest = 0;
-  std::uint64_t combEvals = 0;
-  std::uint64_t cellEvals = 0;
+  sim::Simulator::PerfCounters perf;
   for (const Worker& wk : workers) {
     result.cyclesSimulated += wk.cycles;
     result.checkpointHits += wk.hits;
     result.checkpointCyclesSkipped += wk.skipped;
     result.convergedEarly += wk.converged;
     busiest = std::max(busiest, wk.cycles);
-    combEvals += wk.sim.perf().combEvals;
-    cellEvals += wk.sim.perf().cellEvals;
+    perf.combEvals += wk.sim.perf().combEvals;
+    perf.cellEvals += wk.sim.perf().cellEvals;
+    perf.fullSettles += wk.sim.perf().fullSettles;
+    perf.eventSettles += wk.sim.perf().eventSettles;
     if (coverage != nullptr) coverage->merge(wk.coverage);
   }
   reg.add("inject.campaigns");
   reg.add("inject.faults_simulated", faults.size());
   reg.add("inject.cycles_simulated", result.cyclesSimulated);
-  reg.add("inject.comb_evals", combEvals);
-  reg.add("inject.cell_evals", cellEvals);
+  reg.add("inject.comb_evals", perf.combEvals);
+  reg.add("inject.cell_evals", perf.cellEvals);
+  exportEvalTelemetry(perf);
   reg.add("inject.checkpoint_hits", result.checkpointHits);
   reg.add("inject.checkpoint_cycles_skipped", result.checkpointCyclesSkipped);
   reg.add("inject.converged_early", result.convergedEarly);

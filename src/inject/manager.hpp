@@ -11,6 +11,7 @@
 #include "fault/harness.hpp"
 #include "inject/coverage.hpp"
 #include "inject/monitors.hpp"
+#include "netlist/compiled.hpp"
 #include "obs/json.hpp"
 
 namespace socfmea::inject {
@@ -130,12 +131,20 @@ struct CampaignOptions {
   /// Golden-checkpoint spacing for the parallel engine; 0 picks
   /// max(1, workloadCycles / 16).  Ignored when threads = 1.
   std::uint64_t checkpointInterval = 0;
+  /// Combinational evaluation strategy for every machine in the campaign
+  /// (golden recorder and faulty replicas alike).  EventDriven re-settles
+  /// only the disturbed cone per cycle; FullSettle is the whole-graph
+  /// reference oracle.  Records are bit-identical in either mode.
+  sim::EvalMode evalMode = sim::EvalMode::EventDriven;
 };
 
 class InjectionManager {
  public:
-  InjectionManager(const netlist::Netlist& nl, InjectionEnvironment env)
-      : nl_(&nl), env_(std::move(env)) {}
+  /// Binds the campaign to a design.  The compiled form is taken from the
+  /// environment's ZoneDatabase when it carries one for the same netlist
+  /// (one flattening per flow); otherwise the design is compiled here once
+  /// and shared by every machine the campaigns create.
+  InjectionManager(const netlist::Netlist& nl, InjectionEnvironment env);
 
   [[nodiscard]] const InjectionEnvironment& environment() const noexcept {
     return env_;
@@ -168,8 +177,13 @@ class InjectionManager {
                                            CoverageCollector* coverage,
                                            const CampaignOptions& opt);
 
+  /// Exports compiled-design shape and evaluation-economy telemetry into
+  /// the global registry after a campaign.
+  void exportEvalTelemetry(const sim::Simulator::PerfCounters& perf) const;
+
   const netlist::Netlist* nl_;
   InjectionEnvironment env_;
+  netlist::CompiledDesignPtr cd_;
 };
 
 void printCampaign(std::ostream& out, const CampaignResult& r);

@@ -1,6 +1,7 @@
 #include "inject/monitors.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace socfmea::inject {
 
@@ -84,6 +85,15 @@ GoldenReference recordGoldenReference(
     sim::Workload& wl, const std::vector<netlist::NetId>& stimInputs,
     const std::vector<std::vector<bool>>& stimValues,
     GoldenCheckpoints* checkpoints) {
+  return recordGoldenReference(netlist::compile(nl), env, wl, stimInputs,
+                               stimValues, checkpoints);
+}
+
+GoldenReference recordGoldenReference(
+    netlist::CompiledDesignPtr cd, const InjectionEnvironment& env,
+    sim::Workload& wl, const std::vector<netlist::NetId>& stimInputs,
+    const std::vector<std::vector<bool>>& stimValues,
+    GoldenCheckpoints* checkpoints, sim::EvalMode evalMode) {
   GoldenReference g;
   g.cycles = stimValues.size();
   g.zoneSnaps.assign(env.targetZones.size(), {});
@@ -91,7 +101,8 @@ GoldenReference recordGoldenReference(
   g.obsSnaps.reserve(g.cycles);
   g.alarmSnaps.reserve(g.cycles);
 
-  sim::Simulator sim(nl);
+  sim::Simulator sim(std::move(cd));
+  sim.setEvalMode(evalMode);
   wl.restart();
   sim.reset();
   if (checkpoints != nullptr) {

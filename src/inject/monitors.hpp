@@ -101,4 +101,14 @@ class LockstepMonitors {
     const std::vector<std::vector<bool>>& stimValues,
     GoldenCheckpoints* checkpoints = nullptr);
 
+/// Compiled-design form: the golden Simulator shares the campaign's
+/// compiled design and runs under `evalMode` (values are bit-identical in
+/// either mode; the mode only decides how much work each settle does).
+[[nodiscard]] GoldenReference recordGoldenReference(
+    netlist::CompiledDesignPtr cd, const InjectionEnvironment& env,
+    sim::Workload& wl, const std::vector<netlist::NetId>& stimInputs,
+    const std::vector<std::vector<bool>>& stimValues,
+    GoldenCheckpoints* checkpoints = nullptr,
+    sim::EvalMode evalMode = sim::EvalMode::EventDriven);
+
 }  // namespace socfmea::inject

@@ -18,11 +18,15 @@ namespace socfmea::netlist {
 using NetId = std::uint32_t;
 /// Identifier of a cell (gate / flip-flop / port) inside a Netlist.
 using CellId = std::uint32_t;
+/// Identifier of a behavioural memory instance inside a Netlist.
+using MemoryId = std::uint32_t;
 
 /// Sentinel for "no net connected" (e.g. a flip-flop without enable).
 inline constexpr NetId kNoNet = 0xFFFFFFFFu;
 /// Sentinel for "no cell".
 inline constexpr CellId kNoCell = 0xFFFFFFFFu;
+/// Sentinel for "not driven by a memory read port".
+inline constexpr MemoryId kNoMemory = 0xFFFFFFFFu;
 
 /// The primitive cell set.
 enum class CellType : std::uint8_t {

@@ -49,7 +49,7 @@ CellId Netlist::addCell(CellType type, std::string name,
       throw NetlistError("cell '" + name + "' has invalid output net");
     }
     Net& out = nets_[output];
-    if (out.driver != kNoCell || out.memDriver != 0xFFFFFFFFu) {
+    if (out.driver != kNoCell || out.memDriver != kNoMemory) {
       throw NetlistError("net '" + out.name + "' has multiple drivers (cell '" +
                          name + "')");
     }
@@ -93,7 +93,7 @@ MemoryId Netlist::addMemory(MemoryInst inst) {
   const MemoryId id = static_cast<MemoryId>(memories_.size());
   for (NetId r : inst.rdata) {
     Net& n = nets_.at(r);
-    if (n.driver != kNoCell || n.memDriver != 0xFFFFFFFFu) {
+    if (n.driver != kNoCell || n.memDriver != kNoMemory) {
       throw NetlistError("memory rdata net '" + n.name + "' already driven");
     }
     n.memDriver = id;
@@ -147,7 +147,7 @@ std::size_t Netlist::gateCount() const {
 void Netlist::check() const {
   for (NetId i = 0; i < nets_.size(); ++i) {
     const Net& n = nets_[i];
-    if (n.driver == kNoCell && n.memDriver == 0xFFFFFFFFu) {
+    if (n.driver == kNoCell && n.memDriver == kNoMemory) {
       throw NetlistError("net '" +
                          (n.name.empty() ? ("#" + std::to_string(i)) : n.name) +
                          "' has no driver");

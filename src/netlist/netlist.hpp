@@ -20,9 +20,6 @@ class NetlistError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Identifier of a behavioural memory instance.
-using MemoryId = std::uint32_t;
-
 /// A behavioural memory macro attached to the netlist.  Reads are
 /// synchronous (rdata registers at the clock edge, like an SRAM macro), which
 /// keeps the combinational graph acyclic.
@@ -41,7 +38,7 @@ struct MemoryInst {
 struct Net {
   std::string name;          ///< optional; "" for anonymous nets
   CellId driver = kNoCell;   ///< driving cell (or kNoCell for memory rdata)
-  MemoryId memDriver = 0xFFFFFFFFu;  ///< set when driven by a memory read port
+  MemoryId memDriver = kNoMemory;  ///< set when driven by a memory read port
   std::vector<CellId> fanout;        ///< cells reading this net
 };
 

@@ -29,7 +29,7 @@ Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots) {
     stack.pop_back();
     cone.nets.push_back(n);
     const Net& net = nl.net(n);
-    if (net.memDriver != 0xFFFFFFFFu) {
+    if (net.memDriver != kNoMemory) {
       if (!memSeen[net.memDriver]) {
         memSeen[net.memDriver] = true;
         cone.supportMems.push_back(net.memDriver);
@@ -52,6 +52,54 @@ Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots) {
     cone.gates.push_back(net.driver);
     for (NetId in : drv.inputs) {
       if (in == kNoNet || netSeen[in]) continue;
+      netSeen[in] = true;
+      stack.push_back(in);
+    }
+  }
+  sortUnique(cone.gates);
+  sortUnique(cone.supportFfs);
+  sortUnique(cone.supportPis);
+  std::sort(cone.nets.begin(), cone.nets.end());
+  return cone;
+}
+
+Cone faninCone(const CompiledDesign& cd, const std::vector<NetId>& roots) {
+  Cone cone;
+  std::vector<bool> netSeen(cd.netCount(), false);
+  std::vector<NetId> stack;
+  for (NetId r : roots) {
+    if (r == kNoNet || netSeen[r]) continue;
+    netSeen[r] = true;
+    stack.push_back(r);
+  }
+  std::vector<bool> memSeen(cd.design().memoryCount(), false);
+
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    cone.nets.push_back(n);
+    const NetSource& src = cd.netSource(n);
+    switch (src.kind) {
+      case NetSourceKind::Memory:
+        if (!memSeen[src.id]) {
+          memSeen[src.id] = true;
+          cone.supportMems.push_back(src.id);
+        }
+        continue;
+      case NetSourceKind::Input:
+        cone.supportPis.push_back(src.id);
+        continue;
+      case NetSourceKind::Ff:
+        cone.supportFfs.push_back(src.id);
+        continue;
+      case NetSourceKind::None:
+        continue;
+      case NetSourceKind::Comb:
+        break;
+    }
+    cone.gates.push_back(src.id);
+    for (NetId in : cd.fanin(src.id)) {
+      if (netSeen[in]) continue;
       netSeen[in] = true;
       stack.push_back(in);
     }
@@ -119,6 +167,52 @@ std::vector<CellId> forwardReach(const Netlist& nl,
   return reached;
 }
 
+std::vector<CellId> forwardReach(const CompiledDesign& cd,
+                                 const std::vector<NetId>& srcNets,
+                                 bool throughRegisters, bool throughMemories) {
+  std::vector<bool> netSeen(cd.netCount(), false);
+  std::vector<bool> cellSeen(cd.cellCount(), false);
+  std::vector<NetId> stack;
+  const auto push = [&](NetId n) {
+    if (n == kNoNet || netSeen[n]) return;
+    netSeen[n] = true;
+    stack.push_back(n);
+  };
+  for (NetId s : srcNets) push(s);
+
+  const bool crossMems =
+      throughMemories && cd.design().memoryCount() != 0;
+
+  std::vector<CellId> reached;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (crossMems) {
+      for (MemoryId m : cd.memWriteSinks(n)) {
+        for (NetId r : cd.design().memory(m).rdata) push(r);
+      }
+    }
+    for (CellId sink : cd.fanout(n)) {
+      if (cellSeen[sink]) continue;
+      cellSeen[sink] = true;
+      reached.push_back(sink);
+      const CellType t = cd.cellType(sink);
+      NetId out = kNoNet;
+      if (isCombinational(t)) {
+        out = cd.cellOutput(sink);
+      } else if (t == CellType::Dff && throughRegisters) {
+        out = cd.cellOutput(sink);
+      }
+      if (out != kNoNet && !netSeen[out]) {
+        netSeen[out] = true;
+        stack.push_back(out);
+      }
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+  return reached;
+}
+
 std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src) {
   std::vector<bool> netSeen(nl.netCount(), false);
   std::vector<NetId> stack{src};
@@ -135,6 +229,27 @@ std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src) {
         netSeen[c.output] = true;
         stack.push_back(c.output);
       }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NetId> combFanoutNets(const CompiledDesign& cd, NetId src) {
+  std::vector<bool> netSeen(cd.netCount(), false);
+  std::vector<NetId> stack{src};
+  netSeen[src] = true;
+  std::vector<NetId> out;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    for (CellId sink : cd.fanout(n)) {
+      if (!isCombinational(cd.cellType(sink))) continue;
+      const NetId next = cd.cellOutput(sink);
+      if (next == kNoNet || netSeen[next]) continue;
+      netSeen[next] = true;
+      stack.push_back(next);
     }
   }
   std::sort(out.begin(), out.end());

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
 
 namespace socfmea::netlist {
@@ -23,6 +24,12 @@ struct Cone {
 /// Computes the fan-in cone of `roots` (net ids).
 [[nodiscard]] Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots);
 
+/// CSR form of the walk above (identical result).  The cone algorithms keep
+/// both entry points: the Netlist form for standalone callers, the compiled
+/// form for campaign layers that already share a CompiledDesign.
+[[nodiscard]] Cone faninCone(const CompiledDesign& cd,
+                             const std::vector<NetId>& roots);
+
 /// Computes the set of cells reachable *forward* from `srcNets` through
 /// combinational logic, crossing flip-flops transparently when
 /// `throughRegisters` is true (i.e. multi-cycle reachability) and crossing
@@ -34,7 +41,18 @@ struct Cone {
                                                bool throughRegisters,
                                                bool throughMemories = false);
 
+/// CSR form of forwardReach (identical result); the memory write-port map
+/// is precomputed in the CompiledDesign instead of rebuilt per call.
+[[nodiscard]] std::vector<CellId> forwardReach(const CompiledDesign& cd,
+                                               const std::vector<NetId>& srcNets,
+                                               bool throughRegisters,
+                                               bool throughMemories = false);
+
 /// Transitive fanout nets of a single net within the combinational phase.
 [[nodiscard]] std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src);
+
+/// CSR form of combFanoutNets (identical result).
+[[nodiscard]] std::vector<NetId> combFanoutNets(const CompiledDesign& cd,
+                                                NetId src);
 
 }  // namespace socfmea::netlist

@@ -4,54 +4,65 @@
 
 namespace socfmea::sim {
 
-using netlist::Cell;
 using netlist::CellId;
 using netlist::CellType;
-using netlist::DffPins;
+using netlist::CompiledDesign;
 using netlist::kNoNet;
 using netlist::MemoryId;
 using netlist::MemoryInst;
 using netlist::NetId;
+using netlist::NetSource;
+using netlist::NetSourceKind;
 
 Simulator::Simulator(const netlist::Netlist& nl)
-    : nl_(nl), lev_(netlist::levelize(nl)) {
-  netVal_.assign(nl_.netCount(), Logic::LX);
-  ffState_.assign(nl_.cellCount(), Logic::LX);
-  ffPrevD_.assign(nl_.cellCount(), Logic::LX);
-  inputVal_.assign(nl_.cellCount(), Logic::L0);
-  stale_.assign(nl_.cellCount(), false);
+    : Simulator(netlist::compile(nl)) {}
+
+Simulator::Simulator(netlist::CompiledDesignPtr cd)
+    : cd_(std::move(cd)), nl_(cd_->design()) {
+  initState();
+  reset();
+}
+
+void Simulator::initState() {
+  netVal_.assign(cd_->netCount(), Logic::LX);
+  ffState_.assign(cd_->cellCount(), Logic::LX);
+  ffPrevD_.assign(cd_->cellCount(), Logic::LX);
+  inputVal_.assign(cd_->cellCount(), Logic::L0);
+  stale_.assign(cd_->cellCount(), false);
   mems_.reserve(nl_.memoryCount());
   memRdataReg_.reserve(nl_.memoryCount());
   for (const MemoryInst& m : nl_.memories()) {
     mems_.emplace_back(m.addrBits, m.dataBits);
     memRdataReg_.emplace_back(m.dataBits, Logic::L0);
   }
-  reset();
+  netDirty_.assign(cd_->netCount(), 0);
+  cellDirty_.assign(cd_->combCount(), 0);
+  levelBucket_.assign(cd_->levelCount(), {});
+  insScratch_.reserve(4);
 }
 
 void Simulator::reset() {
   cycle_ = 0;
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type == CellType::Dff) {
-      ffState_[id] = fromBool(c.dffInit);
-      ffPrevD_[id] = fromBool(c.dffInit);
-    }
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    ffState_[ffs[i]] = fromBool(cd_->ffInit(i));
+    ffPrevD_[ffs[i]] = fromBool(cd_->ffInit(i));
   }
   for (auto& reg : memRdataReg_) {
     std::fill(reg.begin(), reg.end(), Logic::L0);
   }
+  fullDirty_ = true;
+  dirty_ = true;
   evalComb();
 }
 
 void Simulator::setInput(NetId net, Logic v) {
-  const netlist::Net& n = nl_.net(net);
-  if (n.driver == netlist::kNoCell ||
-      nl_.cell(n.driver).type != CellType::Input) {
+  const NetSource& src = cd_->netSource(net);
+  if (src.kind != NetSourceKind::Input) {
     throw std::invalid_argument("setInput on a non-input net");
   }
-  inputVal_[n.driver] = v;
-  dirty_ = true;
+  inputVal_[src.id] = v;
+  markNetDirty(net);
 }
 
 void Simulator::setInput(std::string_view name, bool v) {
@@ -92,17 +103,51 @@ void Simulator::writeNet(NetId net, Logic v) {
   netVal_[net] = v;
 }
 
-void Simulator::settle() {
+void Simulator::markNetDirty(NetId net) {
+  dirty_ = true;
+  if (fullDirty_) return;  // a whole-graph settle is already pending
+  if (!netDirty_[net]) {
+    netDirty_[net] = 1;
+    dirtyNets_.push_back(net);
+  }
+}
+
+void Simulator::markCellDirty(std::uint32_t pos) {
+  if (!cellDirty_[pos]) {
+    cellDirty_[pos] = 1;
+    levelBucket_[cd_->combLevel(pos)].push_back(pos);
+  }
+}
+
+void Simulator::clearDirtyMarks() {
+  for (NetId n : dirtyNets_) netDirty_[n] = 0;
+  dirtyNets_.clear();
+}
+
+void Simulator::propagateNet(NetId net, Logic v) {
+  if (!forces_.empty()) {
+    const auto f = forces_.find(net);
+    if (f != forces_.end()) v = f->second;
+  }
+  if (netVal_[net] == v) return;
+  netVal_[net] = v;
+  for (CellId sink : cd_->fanout(net)) {
+    const std::uint32_t pos = cd_->posOfCell(sink);
+    if (pos != CompiledDesign::kNoPos) markCellDirty(pos);
+  }
+}
+
+void Simulator::settleFull() {
   ++perf_.combEvals;
-  perf_.cellEvals += lev_.order.size();
+  ++perf_.fullSettles;
+  perf_.cellEvals += cd_->combCount();
   // Sources: inputs, FF outputs, memory read registers.
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type == CellType::Input) {
-      writeNet(c.output, inputVal_[id]);
-    } else if (c.type == CellType::Dff) {
-      writeNet(c.output, ffState_[id]);
-    }
+  for (CellId id : cd_->inputs()) {
+    writeNet(cd_->cellOutput(id), inputVal_[id]);
+  }
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    writeNet(cd_->ffOutput(i), ffState_[ffs[i]]);
   }
   for (MemoryId m = 0; m < nl_.memoryCount(); ++m) {
     const MemoryInst& mem = nl_.memory(m);
@@ -111,18 +156,71 @@ void Simulator::settle() {
     }
   }
   // One levelized pass settles all combinational cells.
-  std::vector<Logic> ins;
-  for (CellId id : lev_.order) {
-    const Cell& c = nl_.cell(id);
-    ins.clear();
-    for (NetId in : c.inputs) ins.push_back(netVal_[in]);
-    writeNet(c.output, evalCell(c.type, ins));
+  const std::uint32_t count = cd_->combCount();
+  for (std::uint32_t pos = 0; pos < count; ++pos) {
+    insScratch_.clear();
+    for (NetId in : cd_->combInputs(pos)) insScratch_.push_back(netVal_[in]);
+    writeNet(cd_->combOutput(pos), evalCell(cd_->combType(pos), insScratch_));
+  }
+}
+
+void Simulator::settleEvent() {
+  ++perf_.combEvals;
+  ++perf_.eventSettles;
+  // Seed: refresh each dirty net from its source.  Nets driven by a gate
+  // (forced/released mid-cycle) re-evaluate the gate during the sweep.
+  for (NetId n : dirtyNets_) {
+    netDirty_[n] = 0;
+    const NetSource& src = cd_->netSource(n);
+    Logic v = Logic::LX;
+    switch (src.kind) {
+      case NetSourceKind::Comb: {
+        markCellDirty(cd_->posOfCell(src.id));
+        continue;
+      }
+      case NetSourceKind::Input:
+        v = inputVal_[src.id];
+        break;
+      case NetSourceKind::Ff:
+        v = ffState_[src.id];
+        break;
+      case NetSourceKind::Memory:
+        v = memRdataReg_[src.id][src.bit];
+        break;
+      case NetSourceKind::None:
+        continue;
+    }
+    propagateNet(n, v);
+  }
+  dirtyNets_.clear();
+  // Level sweep: a gate's readers sit at strictly higher levels, so each
+  // bucket is complete by the time the sweep reaches it.
+  for (auto& bucket : levelBucket_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t pos = bucket[i];
+      cellDirty_[pos] = 0;
+      ++perf_.cellEvals;
+      insScratch_.clear();
+      for (NetId in : cd_->combInputs(pos)) insScratch_.push_back(netVal_[in]);
+      propagateNet(cd_->combOutput(pos),
+                   evalCell(cd_->combType(pos), insScratch_));
+    }
+    bucket.clear();
   }
 }
 
 void Simulator::evalComb() {
   dirty_ = false;
-  settle();
+  // Bridging faults need the legacy two-pass whole-graph resolve.
+  const bool full =
+      mode_ == EvalMode::FullSettle || fullDirty_ || !bridges_.empty();
+  if (!full) {
+    settleEvent();
+    return;
+  }
+  clearDirtyMarks();
+  settleFull();
+  fullDirty_ = false;
   if (!bridges_.empty()) {
     // Resolve each bridge from the settled values, then force the resolved
     // values and settle again so downstream logic observes them.
@@ -147,7 +245,7 @@ void Simulator::evalComb() {
         temp.push_back(net);
       }
     }
-    settle();
+    settleFull();
     for (NetId n : temp) forces_.erase(n);
   }
 }
@@ -176,36 +274,40 @@ void Simulator::clockEdge() {
     if (re) {
       const std::uint64_t data = mems_[m].read(addr);
       for (std::size_t b = 0; b < mem.rdata.size(); ++b) {
-        memRdataReg_[m][b] = fromBool((data >> b) & 1u);
+        const Logic nv = fromBool((data >> b) & 1u);
+        if (memRdataReg_[m][b] != nv) {
+          memRdataReg_[m][b] = nv;
+          markNetDirty(mem.rdata[b]);
+        }
       }
     }
   }
 
-  dirty_ = true;
-  // Flip-flop capture.
-  for (CellId id = 0; id < nl_.cellCount(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.type != CellType::Dff) continue;
-    const NetId dNet = c.inputs[DffPins::kD];
-    const NetId enNet = c.inputs[DffPins::kEn];
-    const NetId rstNet = c.inputs[DffPins::kRst];
-    const Logic d = netVal_[dNet];
+  // Flip-flop capture.  Only state that actually changed dirties its output
+  // net: an unchanged machine state settles to unchanged net values.
+  const auto& ffs = cd_->ffs();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const CellId id = ffs[i];
+    const NetId rstNet = cd_->ffRst(i);
+    const NetId enNet = cd_->ffEn(i);
+    const Logic d = netVal_[cd_->ffD(i)];
     const Logic sampled = (anyStale_ && stale_[id]) ? ffPrevD_[id] : d;
     ffPrevD_[id] = d;
 
+    Logic next;
     if (rstNet != kNoNet && netVal_[rstNet] == Logic::L1) {
-      ffState_[id] = fromBool(c.dffInit);
-      continue;
+      next = fromBool(cd_->ffInit(i));
+    } else if (enNet != kNoNet && netVal_[enNet] == Logic::L0) {
+      next = ffState_[id];  // hold
+    } else if (enNet != kNoNet && isUnknown(netVal_[enNet])) {
+      next = Logic::LX;  // unknown enable poisons state
+    } else {
+      next = sampled;
     }
-    if (enNet != kNoNet) {
-      const Logic en = netVal_[enNet];
-      if (en == Logic::L0) continue;          // hold
-      if (isUnknown(en)) {                    // unknown enable poisons state
-        ffState_[id] = Logic::LX;
-        continue;
-      }
+    if (ffState_[id] != next) {
+      ffState_[id] = next;
+      markNetDirty(cd_->ffOutput(i));
     }
-    ffState_[id] = sampled;
   }
   ++cycle_;
 }
@@ -221,43 +323,46 @@ void Simulator::run(std::uint64_t n) {
 
 void Simulator::forceNet(NetId net, Logic v) {
   forces_[net] = v;
-  dirty_ = true;
+  markNetDirty(net);
 }
 
 void Simulator::releaseNet(NetId net) {
   forces_.erase(net);
-  dirty_ = true;
+  markNetDirty(net);
 }
 
 void Simulator::releaseAllNets() {
+  for (const auto& [net, v] : forces_) markNetDirty(net);
   forces_.clear();
   dirty_ = true;
 }
 
 void Simulator::flipFf(CellId ff) {
-  if (nl_.cell(ff).type != CellType::Dff) {
+  if (cd_->cellType(ff) != CellType::Dff) {
     throw std::invalid_argument("flipFf on a non-Dff cell");
   }
   ffState_[ff] = logicNot(ffState_[ff]);
-  dirty_ = true;
+  markNetDirty(cd_->cellOutput(ff));
 }
 
 void Simulator::setFfState(CellId ff, Logic v) {
-  if (nl_.cell(ff).type != CellType::Dff) {
+  if (cd_->cellType(ff) != CellType::Dff) {
     throw std::invalid_argument("setFfState on a non-Dff cell");
   }
   ffState_[ff] = v;
-  dirty_ = true;
+  markNetDirty(cd_->cellOutput(ff));
 }
 
 void Simulator::addBridge(NetId a, NetId b, BridgeKind kind) {
   bridges_.push_back(Bridge{a, b, kind});
   dirty_ = true;
+  fullDirty_ = true;
 }
 
 void Simulator::clearBridges() {
   bridges_.clear();
   dirty_ = true;
+  fullDirty_ = true;
 }
 
 Simulator::Snapshot Simulator::snapshot() const {
@@ -294,7 +399,8 @@ void Simulator::restore(const Snapshot& s) {
   bridges_ = s.bridges;
   stale_ = s.stale;
   anyStale_ = s.anyStale;
-  dirty_ = true;  // re-settle on the next observation
+  dirty_ = true;      // re-settle on the next observation
+  fullDirty_ = true;  // restored values predate the dirty-mark bookkeeping
 }
 
 bool Simulator::stateEquals(const Snapshot& s) const {
@@ -321,7 +427,7 @@ bool Simulator::stateEquals(const Snapshot& s) const {
 }
 
 void Simulator::setStaleSampling(CellId ff, bool on) {
-  if (nl_.cell(ff).type != CellType::Dff) {
+  if (cd_->cellType(ff) != CellType::Dff) {
     throw std::invalid_argument("setStaleSampling on a non-Dff cell");
   }
   stale_[ff] = on;

@@ -1,19 +1,28 @@
-// Cycle-accurate levelized simulator over a structural netlist, with the
-// hooks fault injection needs: net forcing (stuck-at / SET), flip-flop state
-// flips (SEU), bridging faults, and delay faults modelled as stale sampling.
+// Cycle-accurate simulator over the compiled design IR, with the hooks fault
+// injection needs: net forcing (stuck-at / SET), flip-flop state flips (SEU),
+// bridging faults, and delay faults modelled as stale sampling.
 //
 // A cycle is: apply inputs -> evalComb() settles all combinational nets ->
 // clockEdge() captures flip-flops and services memory ports.  step() does
 // both and advances the cycle counter.
+//
+// evalComb() is event-driven by default: a per-level dirty worklist seeded
+// from changed inputs, forced/released nets, flipped flip-flops and changed
+// memory read registers re-evaluates only the disturbed cone, falling back
+// to a whole-graph settle on reset()/restore() and while bridging faults are
+// installed.  The legacy whole-graph pass is kept selectable (EvalMode::
+// FullSettle) as the equivalence oracle; both produce bit-identical values.
 #pragma once
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/builder.hpp"
-#include "netlist/levelize.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/logic4.hpp"
 #include "sim/memory_model.hpp"
@@ -28,12 +37,27 @@ enum class BridgeKind : std::uint8_t {
   DominantA,
 };
 
+/// Combinational evaluation strategy.  Both modes settle to bit-identical
+/// values; FullSettle re-evaluates every gate per pass and exists as the
+/// reference oracle / ablation baseline.
+enum class EvalMode : std::uint8_t { EventDriven, FullSettle };
+
 class Simulator {
  public:
+  /// Compiles the netlist privately.  Campaign layers that fan a design out
+  /// over many machines should compile once and use the shared-form ctor.
   explicit Simulator(const netlist::Netlist& nl);
+  /// Shares a pre-compiled design (no per-machine re-levelization).
+  explicit Simulator(netlist::CompiledDesignPtr cd);
 
   [[nodiscard]] const netlist::Netlist& design() const noexcept { return nl_; }
+  [[nodiscard]] const netlist::CompiledDesign& compiled() const noexcept {
+    return *cd_;
+  }
   [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  void setEvalMode(EvalMode m) noexcept { mode_ = m; }
+  [[nodiscard]] EvalMode evalMode() const noexcept { return mode_; }
 
   /// Lifetime activity counters (telemetry, not machine state): they are
   /// excluded from snapshots, never restored, and stateEquals() ignores
@@ -43,6 +67,8 @@ class Simulator {
     std::uint64_t cycles = 0;     ///< clockEdge() calls
     std::uint64_t combEvals = 0;  ///< combinational settle passes
     std::uint64_t cellEvals = 0;  ///< individual cell evaluations
+    std::uint64_t fullSettles = 0;   ///< passes that walked every gate
+    std::uint64_t eventSettles = 0;  ///< passes limited to the dirty cone
   };
   [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
   void resetPerf() noexcept { perf_ = {}; }
@@ -73,8 +99,15 @@ class Simulator {
 
   /// Settled value of a net.  If state changed since the last evalComb()
   /// (clock edge, input change, fault hook), the combinational network is
-  /// settled transparently first.
+  /// settled transparently first.  Throws std::out_of_range on an invalid
+  /// net id.
   [[nodiscard]] Logic value(netlist::NetId net) const {
+    if (net >= netVal_.size()) {
+      throw std::out_of_range("Simulator::value: net id " +
+                              std::to_string(net) + " out of range (design '" +
+                              nl_.name() + "' has " +
+                              std::to_string(netVal_.size()) + " nets)");
+    }
     ensureSettled();
     return netVal_[net];
   }
@@ -146,17 +179,28 @@ class Simulator {
   [[nodiscard]] bool stateEquals(const Snapshot& s) const;
 
  private:
-  void settle();
+  void initState();
+  void settleFull();
+  void settleEvent();
   void writeNet(netlist::NetId net, Logic v);
+  /// Marks a net whose source value may have changed; its readers re-settle
+  /// on the next event-driven pass.
+  void markNetDirty(netlist::NetId net);
+  void markCellDirty(std::uint32_t pos);
+  void clearDirtyMarks();
+  /// Writes `v` (under any force) to `net` and marks reading comb cells
+  /// dirty on change.
+  void propagateNet(netlist::NetId net, Logic v);
   /// Re-settles combinational values if state changed since evalComb().
   void ensureSettled() const {
     if (dirty_) const_cast<Simulator*>(this)->evalComb();
   }
 
+  netlist::CompiledDesignPtr cd_;
   const netlist::Netlist& nl_;
-  netlist::Levelization lev_;
   std::uint64_t cycle_ = 0;
   PerfCounters perf_;
+  EvalMode mode_ = EvalMode::EventDriven;
 
   std::vector<Logic> netVal_;           // per net
   std::vector<Logic> ffState_;          // per cell (Dff only meaningful)
@@ -176,6 +220,16 @@ class Simulator {
   bool anyStale_ = false;
   mutable bool dirty_ = true;
   std::vector<Observer> observers_;
+
+  // Event-driven worklist state.  fullDirty_ requests a whole-graph settle
+  // (reset/restore, bridge install/clear); dirtyNets_ seeds the per-level
+  // buckets of disturbed combinational cells otherwise.
+  bool fullDirty_ = true;
+  std::vector<netlist::NetId> dirtyNets_;
+  std::vector<std::uint8_t> netDirty_;   // per net
+  std::vector<std::uint8_t> cellDirty_;  // per order position
+  std::vector<std::vector<std::uint32_t>> levelBucket_;  // per level
+  std::vector<Logic> insScratch_;
 };
 
 struct Simulator::Snapshot {

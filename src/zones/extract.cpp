@@ -39,7 +39,15 @@ void appendFfRoots(const Netlist& nl, CellId ff, std::vector<NetId>& roots) {
 }  // namespace
 
 ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
+  return extractZones(netlist::compile(nl), opt);
+}
+
+ZoneDatabase extractZones(netlist::CompiledDesignPtr cdp,
+                          const ExtractOptions& opt) {
+  const netlist::CompiledDesign& cd = *cdp;
+  const Netlist& nl = cd.design();
   ZoneDatabase db(nl);
+  db.setCompiled(cdp);
 
   // --- group flip-flops ------------------------------------------------------
   // Key: sub-block prefix if owned, else register stem (compacted), else the
@@ -71,7 +79,7 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
       z.valueNets.push_back(nl.cell(ff).output);
       appendFfRoots(nl, ff, z.coneRoots);
     }
-    z.cone = netlist::faninCone(nl, z.coneRoots);
+    z.cone = netlist::faninCone(cd, z.coneRoots);
     db.addZone(std::move(z));
   }
 
@@ -84,7 +92,7 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
       z.valueNets.push_back(nl.cell(ff).output);
       appendFfRoots(nl, ff, z.coneRoots);
     }
-    z.cone = netlist::faninCone(nl, z.coneRoots);
+    z.cone = netlist::faninCone(cd, z.coneRoots);
     db.addZone(std::move(z));
   }
 
@@ -105,7 +113,7 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
       z.name = nl.cell(po).name;
       z.valueNets.push_back(nl.cell(po).inputs[0]);
       z.coneRoots = z.valueNets;
-      z.cone = netlist::faninCone(nl, z.coneRoots);
+      z.cone = netlist::faninCone(cd, z.coneRoots);
       db.addZone(std::move(z));
     }
   }
@@ -113,14 +121,14 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
   // --- critical nets ---------------------------------------------------------
   if (opt.criticalNetFanout > 0) {
     for (NetId n = 0; n < nl.netCount(); ++n) {
+      if (cd.fanoutCount(n) < opt.criticalNetFanout) continue;
       const auto& net = nl.net(n);
-      if (net.fanout.size() < opt.criticalNetFanout) continue;
       SensibleZone z;
       z.kind = ZoneKind::CriticalNet;
       z.name = net.name.empty() ? ("net#" + std::to_string(n)) : net.name;
       z.valueNets.push_back(n);
       z.coneRoots.push_back(n);
-      z.cone = netlist::faninCone(nl, z.coneRoots);
+      z.cone = netlist::faninCone(cd, z.coneRoots);
       db.addZone(std::move(z));
     }
   }
@@ -138,7 +146,7 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
       z.coneRoots.insert(z.coneRoots.end(), mem.wdata.begin(), mem.wdata.end());
       z.coneRoots.push_back(mem.writeEnable);
       if (mem.readEnable != kNoNet) z.coneRoots.push_back(mem.readEnable);
-      z.cone = netlist::faninCone(nl, z.coneRoots);
+      z.cone = netlist::faninCone(cd, z.coneRoots);
       db.addZone(std::move(z));
     }
   }
@@ -163,7 +171,7 @@ ZoneDatabase extractZones(const Netlist& nl, const ExtractOptions& opt) {
       }
     }
     z.coneRoots = z.valueNets;
-    z.cone = netlist::faninCone(nl, z.coneRoots);
+    z.cone = netlist::faninCone(cd, z.coneRoots);
     db.addZone(std::move(z));
   }
 

@@ -60,7 +60,7 @@ struct SensibleZone {
   std::vector<netlist::NetId> coneRoots;  ///< roots of the converging cone
   netlist::Cone cone;                     ///< the converging logic cone
   ConeStats stats;
-  netlist::MemoryId mem = 0xFFFFFFFFu;    ///< for Memory zones
+  netlist::MemoryId mem = netlist::kNoMemory;  ///< for Memory zones
 
   [[nodiscard]] std::size_t width() const noexcept {
     return valueNets.size();
@@ -105,8 +105,18 @@ class ZoneDatabase {
   ZoneId addZone(SensibleZone z);
   void buildIndices();
 
+  /// Attaches the compiled form of design() so downstream layers (effects
+  /// model, injection manager) reuse one flattening per flow instead of
+  /// re-compiling.  Null for databases built without one.
+  void setCompiled(netlist::CompiledDesignPtr cd) { cd_ = std::move(cd); }
+  [[nodiscard]] const netlist::CompiledDesignPtr& compiledShared()
+      const noexcept {
+    return cd_;
+  }
+
  private:
   const netlist::Netlist* nl_;
+  netlist::CompiledDesignPtr cd_;
   std::vector<SensibleZone> zones_;
   std::vector<std::vector<ZoneId>> coneMembership_;  // by CellId
   std::vector<ZoneId> ffOwner_;                      // by CellId

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "netlist/builder.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/stats.hpp"
@@ -420,3 +421,128 @@ TEST_P(EqualConstProperty, MatchesComparison) {
 
 INSTANTIATE_TEST_SUITE_P(Targets, EqualConstProperty,
                          ::testing::Values(0, 1, 7, 21, 38, 63));
+
+// ---------------------------------------------------------------------------
+// compiled design IR
+// ---------------------------------------------------------------------------
+
+TEST(CompiledTest, MirrorsPipeStructure) {
+  Pipe p;
+  const auto cd = nl::compile(p.n);
+  EXPECT_EQ(&cd->design(), &p.n);
+  EXPECT_EQ(cd->netCount(), p.n.netCount());
+  EXPECT_EQ(cd->cellCount(), p.n.cellCount());
+  EXPECT_EQ(cd->combCount(), 2u);
+
+  // Order positions exist exactly for the combinational core.
+  EXPECT_NE(cd->posOfCell(p.g1), nl::CompiledDesign::kNoPos);
+  EXPECT_NE(cd->posOfCell(p.g2), nl::CompiledDesign::kNoPos);
+  EXPECT_EQ(cd->posOfCell(p.r1), nl::CompiledDesign::kNoPos);
+  EXPECT_EQ(cd->combCell(cd->posOfCell(p.g2)), p.g2);
+
+  // Net sources name the driver by kind.
+  EXPECT_EQ(cd->netSource(p.in).kind, nl::NetSourceKind::Input);
+  EXPECT_EQ(cd->netSource(p.w1).kind, nl::NetSourceKind::Comb);
+  EXPECT_EQ(cd->netSource(p.w1).id, p.g1);
+  EXPECT_EQ(cd->netSource(p.q1).kind, nl::NetSourceKind::Ff);
+  EXPECT_EQ(cd->netSource(p.q1).id, p.r1);
+
+  // Fanin preserves pin order.
+  const auto fin = cd->fanin(p.g2);
+  ASSERT_EQ(fin.size(), 2u);
+  EXPECT_EQ(fin[0], p.q1);
+  EXPECT_EQ(fin[1], p.side);
+
+  // Index tables match the Netlist scans.
+  EXPECT_EQ(cd->inputs(), p.n.primaryInputs());
+  EXPECT_EQ(cd->outputs(), p.n.primaryOutputs());
+  EXPECT_EQ(cd->ffs(), p.n.flipFlops());
+}
+
+TEST(CompiledTest, CsrFanoutMatchesNetFanout) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 8);
+  const auto c = b.inputBus("b", 8);
+  const auto sum = b.adder(a, c);
+  const auto rst = b.input("rst");
+  const auto q = b.registerBus("r", sum, nl::kNoNet, rst, 0);
+  b.outputBus("s", q);
+  n.check();
+
+  const auto cd = nl::compile(n);
+  for (nl::NetId net = 0; net < n.netCount(); ++net) {
+    const auto span = cd->fanout(net);
+    const std::vector<nl::CellId> csr(span.begin(), span.end());
+    EXPECT_EQ(csr, n.net(net).fanout) << "net " << net;
+    EXPECT_EQ(cd->fanoutCount(net), n.net(net).fanout.size());
+  }
+}
+
+TEST(CompiledTest, LevelRangesAreTopological) {
+  nl::Netlist n;
+  nl::Builder b(n);
+  const auto a = b.inputBus("a", 16);
+  const auto c = b.inputBus("b", 16);
+  b.outputBus("s", b.adder(a, c));  // long carry chain => many levels
+  n.check();
+
+  const auto cd = nl::compile(n);
+  ASSERT_GT(cd->levelCount(), 1u);
+  // The level ranges partition [0, combCount) and agree with combLevel.
+  EXPECT_EQ(cd->levelBegin(0), 0u);
+  EXPECT_EQ(cd->levelEnd(cd->levelCount() - 1), cd->combCount());
+  for (std::uint32_t l = 0; l < cd->levelCount(); ++l) {
+    EXPECT_LE(cd->levelBegin(l), cd->levelEnd(l));
+    if (l > 0) {
+      EXPECT_EQ(cd->levelBegin(l), cd->levelEnd(l - 1));
+    }
+    for (std::uint32_t pos = cd->levelBegin(l); pos < cd->levelEnd(l); ++pos) {
+      EXPECT_EQ(cd->combLevel(pos), l);
+    }
+  }
+  // Topological invariant: every combinational input comes from a strictly
+  // lower level (the event-driven settle loop depends on this).
+  for (std::uint32_t pos = 0; pos < cd->combCount(); ++pos) {
+    for (nl::NetId in : cd->combInputs(pos)) {
+      const nl::NetSource& src = cd->netSource(in);
+      if (src.kind != nl::NetSourceKind::Comb) continue;
+      EXPECT_LT(cd->combLevel(cd->posOfCell(src.id)), cd->combLevel(pos));
+    }
+  }
+  const auto stats = cd->stats();
+  EXPECT_EQ(stats.levels, cd->levelCount());
+  EXPECT_EQ(stats.combCells, cd->combCount());
+}
+
+TEST(CompiledTest, MemoryNetsResolved) {
+  nl::Netlist n;
+  const auto a = n.addInput("a");
+  const auto d = n.addInput("d");
+  const auto we = n.addInput("we");
+  const auto r = n.addNet("r");
+  nl::MemoryInst m;
+  m.name = "m";
+  m.addrBits = 1;
+  m.dataBits = 1;
+  m.addr = {a};
+  m.wdata = {d};
+  m.rdata = {r};
+  m.writeEnable = we;
+  n.addMemory(std::move(m));
+  const auto y = n.addNet("y");
+  n.addCell(nl::CellType::Buf, "g", {r}, y);
+  n.addOutput("o", y);
+
+  const auto cd = nl::compile(n);
+  EXPECT_EQ(cd->netSource(r).kind, nl::NetSourceKind::Memory);
+  EXPECT_EQ(cd->netSource(r).id, 0u);
+  EXPECT_EQ(cd->netSource(r).bit, 0u);
+  // addr / wdata / we all feed memory 0's write side.
+  for (nl::NetId net : {a, d, we}) {
+    const auto sinks = cd->memWriteSinks(net);
+    ASSERT_EQ(sinks.size(), 1u) << "net " << net;
+    EXPECT_EQ(sinks[0], 0u);
+  }
+  EXPECT_TRUE(cd->memWriteSinks(y).empty());
+}

@@ -15,7 +15,9 @@
 #include "inject/workload.hpp"
 #include "memsys/hamming.hpp"
 #include "memsys/workloads.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/text_format.hpp"
+#include "sim/rng.hpp"
 
 namespace nl = socfmea::netlist;
 namespace ft = socfmea::fault;
@@ -165,6 +167,108 @@ TEST(DeterminismTest, IdenticalSeedsGiveIdenticalCampaigns) {
   };
   EXPECT_EQ(runOnce(), runOnce());
 }
+
+// ---------------------------------------------------------------------------
+// event-driven vs full-settle evaluation equivalence
+// ---------------------------------------------------------------------------
+
+// Random stimulus and random fault hooks (forces, releases, SEU flips, a
+// bridging-fault window) driven through two machines over the SAME compiled
+// design, one event-driven and one full-settle: every net value, snapshot
+// and stateEquals() verdict must agree every cycle.  This is the oracle the
+// event-driven worklist is held to.
+class EvalModeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvalModeEquivalence, BitIdenticalUnderRandomFaultHooks) {
+  const auto design = ms::buildProtectionIp(ms::GateLevelOptions::v2());
+  const auto& n = design.nl;
+  const auto cd = nl::compile(n);
+  sm::Simulator ev(cd);
+  sm::Simulator full(cd);
+  full.setEvalMode(sm::EvalMode::FullSettle);
+  ASSERT_EQ(ev.evalMode(), sm::EvalMode::EventDriven);
+  for (nl::MemoryId m = 0; m < n.memoryCount(); ++m) {
+    ev.memory(m).fillAll(0);
+    full.memory(m).fillAll(0);
+  }
+
+  std::vector<nl::NetId> inputNets;
+  for (nl::CellId pi : n.primaryInputs()) {
+    inputNets.push_back(n.cell(pi).output);
+  }
+  const auto ffs = n.flipFlops();
+  sm::Rng rng(GetParam());
+  std::vector<nl::NetId> forced;
+
+  constexpr std::uint64_t kCycles = 120;
+  constexpr std::uint64_t kBridgeFrom = 60;
+  constexpr std::uint64_t kBridgeTo = 66;
+  for (std::uint64_t c = 0; c < kCycles; ++c) {
+    for (nl::NetId in : inputNets) {
+      const auto v = sm::fromBool((rng.next() & 1) != 0);
+      ev.setInput(in, v);
+      full.setInput(in, v);
+    }
+    // Random fault hooks, mirrored onto both machines.
+    if (rng.below(8) == 0) {
+      const nl::CellId ff = ffs[rng.below(ffs.size())];
+      ev.flipFf(ff);
+      full.flipFf(ff);
+    }
+    if (rng.below(8) == 0) {
+      const auto net = static_cast<nl::NetId>(rng.below(n.netCount()));
+      const auto v = sm::fromBool((rng.next() & 1) != 0);
+      ev.forceNet(net, v);
+      full.forceNet(net, v);
+      forced.push_back(net);
+    }
+    if (!forced.empty() && rng.below(8) == 0) {
+      ev.releaseNet(forced.back());
+      full.releaseNet(forced.back());
+      forced.pop_back();
+    }
+    // A bridging-fault window exercises the event machine's forced
+    // fallback to whole-graph settles.
+    if (c == kBridgeFrom) {
+      ev.addBridge(inputNets[0], inputNets[1], sm::BridgeKind::WiredAnd);
+      full.addBridge(inputNets[0], inputNets[1], sm::BridgeKind::WiredAnd);
+    }
+    if (c == kBridgeTo) {
+      ev.clearBridges();
+      full.clearBridges();
+    }
+
+    ev.evalComb();
+    full.evalComb();
+    for (nl::NetId net = 0; net < n.netCount(); ++net) {
+      ASSERT_EQ(ev.value(net), full.value(net))
+          << "cycle " << c << " net " << n.net(net).name;
+    }
+    const auto se = ev.snapshot();
+    const auto sf = full.snapshot();
+    ASSERT_EQ(se.cycle, sf.cycle);
+    ASSERT_EQ(se.netVal, sf.netVal) << "cycle " << c;
+    ASSERT_EQ(se.ffState, sf.ffState) << "cycle " << c;
+    ASSERT_EQ(se.ffPrevD, sf.ffPrevD) << "cycle " << c;
+    ASSERT_EQ(se.inputVal, sf.inputVal) << "cycle " << c;
+    const bool bridged = c >= kBridgeFrom && c < kBridgeTo;
+    if (!bridged) {
+      // stateEquals is conservatively false while bridges are installed.
+      ASSERT_TRUE(ev.stateEquals(sf)) << "cycle " << c;
+      ASSERT_TRUE(full.stateEquals(se)) << "cycle " << c;
+    }
+
+    ev.clockEdge();
+    full.clockEdge();
+  }
+  // The event machine must actually have used its worklist path.
+  EXPECT_GT(ev.perf().eventSettles, 0u);
+  EXPECT_GT(full.perf().fullSettles, 0u);
+  EXPECT_LT(ev.perf().cellEvals, full.perf().cellEvals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalModeEquivalence,
+                         ::testing::Values(3, 17, 101));
 
 // ---------------------------------------------------------------------------
 // Hamming: exhaustive double-error space for sampled data words

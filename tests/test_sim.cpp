@@ -159,6 +159,96 @@ TEST(SimulatorTest, SetInputOnNonInputThrows) {
   EXPECT_THROW(sim.setInput("nonexistent", true), std::invalid_argument);
 }
 
+TEST(SimulatorTest, ValueOutOfRangeThrows) {
+  Counter c;
+  sm::Simulator sim(c.n);
+  EXPECT_THROW((void)sim.value(static_cast<nl::NetId>(c.n.netCount())),
+               std::out_of_range);
+  EXPECT_THROW((void)sim.value(static_cast<nl::NetId>(0xFFFFFFFFu)),
+               std::out_of_range);
+  try {
+    (void)sim.value(static_cast<nl::NetId>(c.n.netCount() + 5));
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The diagnostic names the offending id and the design.
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("counter"), std::string::npos);
+  }
+}
+
+TEST(SimulatorTest, EvalModesProduceIdenticalValues) {
+  Counter c;
+  sm::Simulator ev(c.n);
+  sm::Simulator full(c.n);
+  full.setEvalMode(sm::EvalMode::FullSettle);
+  ASSERT_EQ(ev.evalMode(), sm::EvalMode::EventDriven);
+  for (int cyc = 0; cyc < 12; ++cyc) {
+    const Logic en = cyc % 3 == 0 ? Logic::L0 : Logic::L1;
+    for (sm::Simulator* s : {&ev, &full}) {
+      s->setInput(c.rst, Logic::L0);
+      s->setInput(c.en, en);
+      if (cyc == 4) s->forceNet(c.q[1], Logic::L1);
+      if (cyc == 7) s->releaseNet(c.q[1]);
+      if (cyc == 9) s->flipFf(*c.n.findCell("c_2"));
+      s->evalComb();
+    }
+    for (nl::NetId net = 0; net < c.n.netCount(); ++net) {
+      ASSERT_EQ(ev.value(net), full.value(net))
+          << "cycle " << cyc << " net " << c.n.net(net).name;
+    }
+    ASSERT_TRUE(ev.stateEquals(full.snapshot())) << "cycle " << cyc;
+    ev.clockEdge();
+    full.clockEdge();
+  }
+}
+
+TEST(SimulatorTest, EventDrivenEvaluatesOnlyTheDisturbedCone) {
+  // Two independent 8-bit adder cones behind registers: disturbing one
+  // input bit of cone A must not re-evaluate cone B's gates.
+  nl::Netlist n("twocones");
+  nl::Builder b(n);
+  const auto rst = b.input("rst");
+  const auto a0 = b.inputBus("a0", 8);
+  const auto b0 = b.inputBus("b0", 8);
+  const auto a1 = b.inputBus("a1", 8);
+  const auto b1 = b.inputBus("b1", 8);
+  const auto q0 = b.registerBus("r0", b.adder(a0, b0), nl::kNoNet, rst, 0);
+  const auto q1 = b.registerBus("r1", b.adder(a1, b1), nl::kNoNet, rst, 0);
+  b.outputBus("s0", q0);
+  b.outputBus("s1", q1);
+  n.check();
+
+  sm::Simulator sim(n);
+  sim.setInput(rst, Logic::L0);
+  sim.setInputBus(a0, 0x12);
+  sim.setInputBus(b0, 0x34);
+  sim.setInputBus(a1, 0x56);
+  sim.setInputBus(b1, 0x78);
+  sim.step();  // settle everything once
+
+  const std::uint64_t gateCount = sim.compiled().stats().combCells;
+  sim.resetPerf();
+  sim.setInputBus(a0, 0x13);  // single-bit change confined to cone A
+  sim.evalComb();
+  EXPECT_EQ(sim.busValue(q0 /* registered: unchanged until the edge */),
+            (0x12u + 0x34u) & 0xFFu);
+  EXPECT_GT(sim.perf().cellEvals, 0u);
+  EXPECT_LT(sim.perf().cellEvals, gateCount)
+      << "event-driven settle touched the whole graph";
+  // Cone B alone is already half the design, so the disturbed cone must be
+  // well under half of all gates.
+  EXPECT_LT(sim.perf().cellEvals, gateCount / 2);
+  EXPECT_EQ(sim.perf().eventSettles, 1u);
+  EXPECT_EQ(sim.perf().fullSettles, 0u);
+
+  // An untouched machine settles for free.
+  sim.clockEdge();
+  sim.resetPerf();
+  sim.evalComb();
+  sim.evalComb();
+  EXPECT_LE(sim.perf().cellEvals, gateCount / 2);
+}
+
 TEST(SimulatorTest, ForceNetActsAsStuckAt) {
   Counter c;
   sm::Simulator sim(c.n);
