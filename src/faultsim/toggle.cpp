@@ -63,6 +63,8 @@ std::vector<bool> structurallyConstantNets(const netlist::Netlist& nl) {
         q = init;  // never captures: holds the reset image
       } else if (d == init || d == CV::Top) {
         q = init;  // captures its own init value (or an optimistic loop)
+      } else if (en == CV::Top) {
+        q = CV::Top;  // enable unresolved: defer — Varying is irreversible
       } else {
         q = CV::Varying;
       }

@@ -1,0 +1,41 @@
+#include "testkit/seed.hpp"
+
+#include <cstdlib>
+
+namespace socfmea::testkit {
+
+bool envSeed(std::uint64_t* out) noexcept {
+  const char* raw = std::getenv("SOCFMEA_TEST_SEED");
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 0);
+  if (end == raw || (end != nullptr && *end != '\0')) return false;
+  if (out != nullptr) *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+std::uint64_t derivedSeed(std::uint64_t base, std::uint64_t index) noexcept {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t testSeed(std::uint64_t fallback) noexcept {
+  std::uint64_t campaign = 0;
+  if (!envSeed(&campaign)) return fallback;
+  return derivedSeed(campaign, fallback);
+}
+
+std::string seedMessage(std::uint64_t seed) {
+  std::uint64_t campaign = 0;
+  std::string msg = "seed " + std::to_string(seed);
+  if (envSeed(&campaign)) {
+    msg += " (campaign SOCFMEA_TEST_SEED=" + std::to_string(campaign) + ")";
+  } else {
+    msg += " (override the campaign with SOCFMEA_TEST_SEED=<n>)";
+  }
+  return msg;
+}
+
+}  // namespace socfmea::testkit

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "core/thread_pool.hpp"
 #include "fault/collapse.hpp"
@@ -17,8 +18,10 @@
 #include "memsys/gatelevel.hpp"
 #include "memsys/workloads.hpp"
 #include "netlist/builder.hpp"
+#include "testkit/seed.hpp"
 #include "zones/extract.hpp"
 
+namespace tk = socfmea::testkit;
 namespace nl = socfmea::netlist;
 namespace zn = socfmea::zones;
 namespace ft = socfmea::fault;
@@ -86,11 +89,24 @@ ms::GateLevelDesign smallMemsys() {
   return ms::buildProtectionIp(o);
 }
 
+// Campaign-wide seeds: the historical literals by default, or values derived
+// from SOCFMEA_TEST_SEED so the whole bed can be re-rolled from the shell.
+const std::uint64_t kWorkloadSeed = tk::testSeed(42);
+const std::uint64_t kEnvSeed = tk::testSeed(7);
+const std::uint64_t kFaultSeed = tk::testSeed(11);
+
 ms::ProtectionIpWorkload::Options smallWorkload(std::uint64_t cycles) {
   ms::ProtectionIpWorkload::Options o;
   o.cycles = cycles;
-  o.seed = 42;
+  o.seed = kWorkloadSeed;
   return o;
+}
+
+/// One-line provenance for failure logs on every randomized campaign test.
+std::string bedSeedTrace() {
+  return tk::seedMessage(kWorkloadSeed) + "; env seed " +
+         std::to_string(kEnvSeed) + "; fault-sample seed " +
+         std::to_string(kFaultSeed);
 }
 
 std::vector<sm::Logic> allNetValues(const sm::Simulator& sim) {
@@ -187,7 +203,7 @@ struct MemsysBed {
       : db(zn::extractZones(design.nl)),
         fx(db, design.alarmNames),
         env(ij::EnvironmentBuilder(db, fx)
-                .withSeed(7)
+                .withSeed(kEnvSeed)
                 .withDetectionWindow(24)
                 .build()) {}
 
@@ -199,7 +215,7 @@ struct MemsysBed {
     ft::FaultList candidates = ft::allStuckAtFaults(design.nl);
     ft::append(candidates, ft::allSeuFaults(design.nl));
     ij::collapseAgainstProfile(db, profile, candidates);
-    return ij::randomizeFaultList(db, profile, candidates, n, 11);
+    return ij::randomizeFaultList(db, profile, candidates, n, kFaultSeed);
   }
 };
 
@@ -226,6 +242,7 @@ void expectRecordsEqual(const ij::CampaignResult& a,
 }  // namespace
 
 TEST(ParallelCampaignTest, BitIdenticalToSerialAcrossThreadCounts) {
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(260));
   const auto faults = bed.sampleFaults(wl, 48);
@@ -267,6 +284,7 @@ TEST(ParallelCampaignTest, BitIdenticalToSerialAcrossThreadCounts) {
 }
 
 TEST(ParallelCampaignTest, StuckAtFaultsFallBackToFullReplay) {
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(120));
   ft::FaultList faults;
@@ -289,6 +307,7 @@ TEST(ParallelCampaignTest, StuckAtFaultsFallBackToFullReplay) {
 }
 
 TEST(ParallelCampaignTest, LatentFaultCampaignStaysIdentical) {
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(150));
   const auto faults = bed.sampleFaults(wl, 16);
@@ -305,6 +324,7 @@ TEST(ParallelCampaignTest, LatentFaultCampaignStaysIdentical) {
 }
 
 TEST(ParallelCampaignTest, ExplicitCheckpointIntervalHonoured) {
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(100));
   const auto faults = bed.sampleFaults(wl, 12);
@@ -345,8 +365,10 @@ struct DataPath {
 }  // namespace
 
 TEST(ThreadedFaultSimTest, MatchesSerialOnMixedFaults) {
+  const std::uint64_t seed = tk::testSeed(7);
+  SCOPED_TRACE(tk::seedMessage(seed));
   DataPath d;
-  ij::RandomWorkload wl(d.n, 160, 7, {{d.rst, false}});
+  ij::RandomWorkload wl(d.n, 160, seed, {{d.rst, false}});
 
   ft::FaultList faults = ft::allStuckAtFaults(d.n);
   ft::collapseStuckAt(d.n, faults);
@@ -381,8 +403,10 @@ TEST(ThreadedFaultSimTest, MatchesSerialOnMixedFaults) {
 }
 
 TEST(ThreadedFaultSimTest, ThreadsZeroUsesHardwareConcurrency) {
+  const std::uint64_t seed = tk::testSeed(3);
+  SCOPED_TRACE(tk::seedMessage(seed));
   DataPath d;
-  ij::RandomWorkload wl(d.n, 60, 3, {{d.rst, false}});
+  ij::RandomWorkload wl(d.n, 60, seed, {{d.rst, false}});
   ft::FaultList faults = ft::allStuckAtFaults(d.n);
   ft::collapseStuckAt(d.n, faults);
 
@@ -403,6 +427,7 @@ TEST(ThreadedFaultSimTest, ThreadsZeroUsesHardwareConcurrency) {
 // ---------------------------------------------------------------------------
 
 TEST(TallyTest, MatchesPerOutcomeCounts) {
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(150));
   const auto faults = bed.sampleFaults(wl, 24);
@@ -434,6 +459,7 @@ TEST(ParallelCampaignTest, JsonMetricsSectionIdenticalSerialVsParallel) {
   // section of CampaignResult::toJson() is byte-identical between the
   // serial oracle and the parallel engine; only "execution" (cycles,
   // checkpoint counters) may differ.
+  SCOPED_TRACE(bedSeedTrace());
   MemsysBed bed;
   ms::ProtectionIpWorkload wl(bed.design, smallWorkload(260));
   const auto faults = bed.sampleFaults(wl, 32);

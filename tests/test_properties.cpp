@@ -18,7 +18,9 @@
 #include "netlist/compiled.hpp"
 #include "netlist/text_format.hpp"
 #include "sim/rng.hpp"
+#include "testkit/seed.hpp"
 
+namespace tk = socfmea::testkit;
 namespace nl = socfmea::netlist;
 namespace ft = socfmea::fault;
 namespace fs = socfmea::faultsim;
@@ -59,6 +61,7 @@ struct ChainDesign {
 class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CollapseEquivalence, RepresentativeHasSameDetectability) {
+  SCOPED_TRACE(tk::seedMessage(GetParam()));
   ChainDesign d;
   ij::RandomWorkload wl(d.n, 60, GetParam(), {{d.rst, false}});
 
@@ -79,8 +82,10 @@ TEST_P(CollapseEquivalence, RepresentativeHasSameDetectability) {
   }
 }
 
+// Historical seeds by default; SOCFMEA_TEST_SEED derives a fresh sweep.
 INSTANTIATE_TEST_SUITE_P(Seeds, CollapseEquivalence,
-                         ::testing::Values(1, 7, 23));
+                         ::testing::Values(tk::testSeed(1), tk::testSeed(7),
+                                           tk::testSeed(23)));
 
 // ---------------------------------------------------------------------------
 // full-design .snl round trip
@@ -143,6 +148,8 @@ INSTANTIATE_TEST_SUITE_P(Versions, SnlRoundTrip, ::testing::Values(false, true))
 // ---------------------------------------------------------------------------
 
 TEST(DeterminismTest, IdenticalSeedsGiveIdenticalCampaigns) {
+  const std::uint64_t seed = tk::testSeed(31);
+  SCOPED_TRACE(tk::seedMessage(seed));
   const auto design = ms::buildProtectionIp(ms::GateLevelOptions::v2());
   socfmea::core::FmeaFlow flow(design.nl,
                                socfmea::core::makeFrmemFlowConfig(design));
@@ -152,11 +159,11 @@ TEST(DeterminismTest, IdenticalSeedsGiveIdenticalCampaigns) {
 
   const auto runOnce = [&] {
     const auto env = ij::EnvironmentBuilder(flow.zones(), flow.effects())
-                         .withSeed(31)
+                         .withSeed(seed)
                          .build();
     ij::InjectionManager mgr(design.nl, env);
     const auto profile = ij::OperationalProfile::record(flow.zones(), wl);
-    auto faults = mgr.zoneFailureFaults(profile, 1, 31);
+    auto faults = mgr.zoneFailureFaults(profile, 1, seed);
     faults.resize(std::min<std::size_t>(faults.size(), 40));
     const auto res = mgr.run(wl, faults);
     std::vector<int> outcomes;
@@ -180,6 +187,7 @@ TEST(DeterminismTest, IdenticalSeedsGiveIdenticalCampaigns) {
 class EvalModeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EvalModeEquivalence, BitIdenticalUnderRandomFaultHooks) {
+  SCOPED_TRACE(tk::seedMessage(GetParam()));
   const auto design = ms::buildProtectionIp(ms::GateLevelOptions::v2());
   const auto& n = design.nl;
   const auto cd = nl::compile(n);
@@ -268,7 +276,8 @@ TEST_P(EvalModeEquivalence, BitIdenticalUnderRandomFaultHooks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EvalModeEquivalence,
-                         ::testing::Values(3, 17, 101));
+                         ::testing::Values(tk::testSeed(3), tk::testSeed(17),
+                                           tk::testSeed(101)));
 
 // ---------------------------------------------------------------------------
 // Hamming: exhaustive double-error space for sampled data words

@@ -1,0 +1,142 @@
+// Direct unit tests for fmea/sensitivity.cpp: the standard span set over a
+// hand-built sheet whose rates are derived from the FIT model, so every
+// scenario's direction of effect is known in closed form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fmea/sensitivity.hpp"
+#include "fmea/sheet.hpp"
+
+namespace fm = socfmea::fmea;
+
+namespace {
+
+/// Two-row sheet: a permanent logic row with partial ECC coverage and a
+/// transient register row gated by frequency class and lifetime.  λ scales
+/// with the FIT model so the fit-permanent / fit-transient spans bite.
+fm::FmeaSheet makeSheet(const fm::FitModel& fit) {
+  fm::FmeaSheet sheet;
+
+  fm::FmeaRow perm;
+  perm.zoneName = "u_logic";
+  perm.failureMode = "stuck-at";
+  perm.persistence = fm::Persistence::Permanent;
+  perm.lambda = fit.gatePermanent * 1000.0;
+  perm.safe.architectural = 0.4;
+  perm.claims.push_back({"ram-ecc", 0.90});
+  sheet.addRow(perm);
+
+  fm::FmeaRow trans;
+  trans.zoneName = "u_reg";
+  trans.failureMode = "seu";
+  trans.persistence = fm::Persistence::Transient;
+  trans.lambda = fit.ffTransient * 200.0;
+  trans.safe.architectural = 0.2;
+  trans.freq = fm::FreqClass::Medium;
+  trans.lifetimeFraction = 0.5;
+  trans.claims.push_back({"cpu-self-test-hw", 0.60});
+  sheet.addRow(trans);
+
+  return sheet;
+}
+
+const fm::SensitivityScenario& scenario(const fm::SensitivityResult& res,
+                                        std::string_view name) {
+  const auto it =
+      std::find_if(res.scenarios.begin(), res.scenarios.end(),
+                   [&](const auto& s) { return s.name == name; });
+  EXPECT_NE(it, res.scenarios.end()) << "missing scenario " << name;
+  return *it;
+}
+
+fm::SensitivityResult runStandard() {
+  fm::SensitivityAnalyzer analyzer(makeSheet, fm::FitModel{});
+  return analyzer.run();
+}
+
+}  // namespace
+
+TEST(Sensitivity, BaselineMatchesDirectComputation) {
+  fm::FmeaSheet direct = makeSheet(fm::FitModel{});
+  direct.compute();
+  const auto res = runStandard();
+  EXPECT_DOUBLE_EQ(res.baselineSff, direct.sff());
+  EXPECT_DOUBLE_EQ(res.baselineDc, direct.dc());
+  EXPECT_EQ(res.scenarios.size(), 11u);
+}
+
+TEST(Sensitivity, DeltasAreRelativeToBaseline) {
+  const auto res = runStandard();
+  for (const auto& s : res.scenarios) {
+    EXPECT_NEAR(s.deltaSff, s.sff - res.baselineSff, 1e-12) << s.name;
+  }
+  EXPECT_LE(res.minSff(), res.baselineSff);
+  EXPECT_GE(res.maxSff(), res.baselineSff);
+  EXPECT_GE(res.maxAbsDelta(), 0.0);
+}
+
+TEST(Sensitivity, FitClassScalingShiftsTheMixture) {
+  // SFF is a λ-weighted mixture of the two rows' per-row SFF.  Scaling one
+  // FIT class up weights its row more; scaling it down weights it less, so
+  // the x2 and x0.5 spans of one class land on opposite sides of the
+  // baseline, and the two classes move the mixture in opposite directions.
+  const auto res = runStandard();
+  const double b = res.baselineSff;
+  const auto& permUp = scenario(res, "fit-permanent x2.0");
+  const auto& permDown = scenario(res, "fit-permanent x0.5");
+  const auto& transUp = scenario(res, "fit-transient x2.0");
+  const auto& transDown = scenario(res, "fit-transient x0.5");
+  EXPECT_GT(res.maxAbsDelta(), 0.0);  // the rows differ, so the mix shifts
+  EXPECT_LE((permUp.sff - b) * (permDown.sff - b), 1e-18);
+  EXPECT_LE((transUp.sff - b) * (transDown.sff - b), 1e-18);
+  EXPECT_LE((permUp.sff - b) * (transUp.sff - b), 1e-18);
+}
+
+TEST(Sensitivity, SafeFactorSpansMoveSffMonotonically) {
+  const auto res = runStandard();
+  // Halving S-arch makes more failures dangerous -> SFF can only drop;
+  // pushing S-arch toward 1 can only raise it.
+  EXPECT_LE(scenario(res, "S-arch halved").sff, res.baselineSff + 1e-12);
+  EXPECT_GE(scenario(res, "S-arch +50% toward 1").sff, res.baselineSff - 1e-12);
+}
+
+TEST(Sensitivity, ExposureSpansActOnTransientRowsOnly) {
+  const auto res = runStandard();
+  // Lower frequency class / shorter lifetime shrink the transient row's
+  // dangerous exposure -> SFF rises; the permanent row is exposure-immune.
+  EXPECT_GE(scenario(res, "freq class -1").sff, res.baselineSff - 1e-12);
+  EXPECT_LE(scenario(res, "freq class +1").sff, res.baselineSff + 1e-12);
+  EXPECT_GE(scenario(res, "lifetime x0.5").sff, res.baselineSff - 1e-12);
+  EXPECT_LE(scenario(res, "lifetime x2.0").sff, res.baselineSff + 1e-12);
+}
+
+TEST(Sensitivity, DdfDeratingOnlyHurts) {
+  const auto res = runStandard();
+  EXPECT_LE(scenario(res, "DDF derated to 90%").sff, res.baselineSff + 1e-12);
+}
+
+TEST(Sensitivity, StabilityVerdictRespectsToleranceAndFloor) {
+  fm::SensitivityResult res;
+  res.baselineSff = 0.95;
+  res.scenarios.push_back({"down", 0.94, 0.8, -0.01});
+  res.scenarios.push_back({"up", 0.96, 0.8, +0.01});
+  EXPECT_TRUE(res.stable(0.02));
+  EXPECT_TRUE(res.stable(0.01));
+  EXPECT_FALSE(res.stable(0.005));        // |Δ| above tolerance
+  EXPECT_FALSE(res.stable(0.02, 0.945));  // floor above the min
+  EXPECT_TRUE(res.stable(0.02, 0.94));
+  EXPECT_TRUE(res.stable(0.02, 0.0));     // floor disabled
+  EXPECT_DOUBLE_EQ(res.minSff(), 0.94);
+  EXPECT_DOUBLE_EQ(res.maxSff(), 0.96);
+  EXPECT_DOUBLE_EQ(res.maxAbsDelta(), 0.01);
+}
+
+TEST(Sensitivity, EmptySheetIsDegenerateButDefined) {
+  fm::SensitivityAnalyzer analyzer(
+      [](const fm::FitModel&) { return fm::FmeaSheet{}; }, fm::FitModel{});
+  const auto res = analyzer.run();
+  EXPECT_EQ(res.scenarios.size(), 11u);
+  EXPECT_DOUBLE_EQ(res.maxAbsDelta(), 0.0);
+  EXPECT_TRUE(res.stable(0.0, 0.0));
+}

@@ -1,0 +1,203 @@
+// fuzz_diff: the differential fuzzing driver.
+//
+//   fuzz_diff --seed <S> --runs <N> [--shrink] [--out <dir>] [--threads <T>]
+//             [--sabotage <engine>/<mode>] [--quiet]
+//     Generates N random (design, stimulus, fault-plan) cases from the
+//     campaign seed S and runs each through the differential oracle: the
+//     serial, threaded and bit-parallel fault-sim engines under both
+//     event-driven and full-settle evaluation must agree fault-for-fault,
+//     the golden traces of both modes must match, and the design must
+//     survive a .snl round-trip.  On a failure the case number and seed are
+//     printed (re-run any single case with the same --seed and --runs to
+//     reproduce); with --shrink the failing case is delta-debugged and the
+//     minimal repro is written to <dir>/repro-<case>.nl / .plan.
+//
+//     --sabotage injects a deliberate verdict-flipping bug into one engine
+//     (e.g. --sabotage threaded/full-settle) to exercise the oracle and
+//     shrinker pipeline end to end.
+//
+//   fuzz_diff --replay <design.nl> <plan.plan> [--threads <T>]
+//     Re-runs the oracle on a saved repro pair.
+//
+//   Exit codes: 0 all cases agree, 1 oracle failure, 2 usage/IO error.
+//
+//   SOCFMEA_TEST_SEED overrides --seed (the same campaign-seed override the
+//   gtest suites honour).
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "testkit/netlist_gen.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/plan.hpp"
+#include "testkit/seed.hpp"
+#include "testkit/shrink.hpp"
+
+namespace {
+
+using namespace socfmea;
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 100;
+  bool shrink = false;
+  bool quiet = false;
+  unsigned threads = 0;
+  std::string outDir = ".";
+  std::string replayNl;
+  std::string replayPlan;
+  testkit::Sabotage sabotage;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::cerr << "fuzz_diff: " << msg << "\n";
+  std::cerr
+      << "usage: fuzz_diff --seed <S> --runs <N> [--shrink] [--out <dir>]\n"
+         "                 [--threads <T>] [--sabotage <engine>/<mode>]\n"
+         "                 [--quiet]\n"
+         "       fuzz_diff --replay <design.nl> <plan.plan> [--threads <T>]\n";
+  std::exit(2);
+}
+
+testkit::Sabotage parseSabotage(const std::string& spec) {
+  const auto slash = spec.find('/');
+  const std::string engine = spec.substr(0, slash);
+  const std::string mode =
+      slash == std::string::npos ? "full-settle" : spec.substr(slash + 1);
+  testkit::Sabotage s;
+  if (engine == "serial") {
+    s.engine = testkit::Sabotage::Engine::Serial;
+  } else if (engine == "threaded") {
+    s.engine = testkit::Sabotage::Engine::Threaded;
+  } else if (engine == "parallel") {
+    s.engine = testkit::Sabotage::Engine::Parallel;
+  } else {
+    usage("unknown sabotage engine (serial|threaded|parallel)");
+  }
+  if (mode == "event-driven") {
+    s.mode = sim::EvalMode::EventDriven;
+  } else if (mode == "full-settle") {
+    s.mode = sim::EvalMode::FullSettle;
+  } else {
+    usage("unknown sabotage mode (event-driven|full-settle)");
+  }
+  return s;
+}
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  const auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      a.seed = std::strtoull(value(i).c_str(), nullptr, 0);
+    } else if (arg == "--runs") {
+      a.runs = std::strtoull(value(i).c_str(), nullptr, 0);
+    } else if (arg == "--threads") {
+      a.threads =
+          static_cast<unsigned>(std::strtoul(value(i).c_str(), nullptr, 0));
+    } else if (arg == "--out") {
+      a.outDir = value(i);
+    } else if (arg == "--shrink") {
+      a.shrink = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (arg == "--sabotage") {
+      a.sabotage = parseSabotage(value(i));
+    } else if (arg == "--replay") {
+      a.replayNl = value(i);
+      if (i + 1 >= argc) usage("--replay needs <design.nl> <plan.plan>");
+      a.replayPlan = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage(("unknown option '" + arg + "'").c_str());
+    }
+  }
+  std::uint64_t env = 0;
+  if (testkit::envSeed(&env)) a.seed = env;
+  return a;
+}
+
+int replay(const Args& a) {
+  testkit::OracleOptions opt;
+  opt.threads = a.threads;
+  opt.sabotage = a.sabotage;
+  try {
+    const auto repro = testkit::loadRepro(a.replayNl, a.replayPlan);
+    const auto report = testkit::runOracle(repro.design, repro.plan, opt);
+    std::cout << "replay " << a.replayNl << ": " << report.summary() << "\n";
+    return report.pass ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_diff: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int fuzz(const Args& a) {
+  testkit::OracleOptions opt;
+  opt.threads = a.threads;
+  opt.sabotage = a.sabotage;
+  std::uint64_t failures = 0;
+  for (std::uint64_t run = 0; run < a.runs; ++run) {
+    const std::uint64_t caseSeed = testkit::derivedSeed(a.seed, run);
+    sim::Rng rng(caseSeed);
+    const auto genOpt = testkit::randomOptions(rng);
+    const auto nl = testkit::generateNetlist(genOpt, rng);
+    const auto planOpt = testkit::randomPlanOptions(rng);
+    auto plan = testkit::generatePlan(nl, planOpt, rng);
+    plan.name = "case" + std::to_string(run);
+
+    const auto report = testkit::runOracle(nl, plan, opt);
+    if (report.pass) {
+      if (!a.quiet && (run + 1) % 50 == 0) {
+        std::cout << "  ..." << (run + 1) << "/" << a.runs << " cases agree\n";
+      }
+      continue;
+    }
+    ++failures;
+    std::cout << "FAIL case " << run << " (campaign seed " << a.seed
+              << ", case seed " << caseSeed << ", " << nl.cellCount()
+              << " cells, " << plan.faults.size() << " faults)\n"
+              << report.summary() << "\n";
+    if (a.shrink) {
+      testkit::ShrinkOptions sopt;
+      sopt.oracle = opt;
+      const auto shrunk = testkit::shrinkFailure(nl, plan, sopt);
+      std::filesystem::create_directories(a.outDir);
+      const std::string base = a.outDir + "/repro-" + std::to_string(run);
+      testkit::writeRepro(base + ".nl", base + ".plan", shrunk.design,
+                          shrunk.plan);
+      std::cout << "  shrunk " << shrunk.cellsBefore << "->"
+                << shrunk.cellsAfter << " cells, " << shrunk.faultsBefore
+                << "->" << shrunk.faultsAfter << " faults, "
+                << shrunk.cyclesBefore << "->" << shrunk.cyclesAfter
+                << " cycles (" << shrunk.oracleCalls << " oracle calls)\n"
+                << "  repro: " << base << ".nl " << base << ".plan\n";
+    }
+  }
+  if (failures == 0) {
+    std::cout << "fuzz_diff: " << a.runs << " cases, all "
+              << "engine/mode combinations agree (campaign seed " << a.seed
+              << ")\n";
+    return 0;
+  }
+  std::cout << "fuzz_diff: " << failures << "/" << a.runs << " cases FAILED\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parseArgs(argc, argv);
+  try {
+    return a.replayNl.empty() ? fuzz(a) : replay(a);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_diff: " << e.what() << "\n";
+    return 2;
+  }
+}
