@@ -1,0 +1,175 @@
+// Experiment INCREMENTAL: wall time of the FMEA flow across architectural
+// iterations — cold (empty artifact store), warm no-op (identical design
+// re-run, every stage and the whole campaign load from the store) and warm
+// one-edit delta (store warmed with the v1 baseline, then v1+wbuf-parity:
+// unchanged stages load, the campaign re-simulates only the faults inside
+// the affected cone of the edit).  The delta verdicts are verified
+// bit-identical to the cold run before any timing is reported; the headline
+// numbers land in BENCH_incremental.json for CI trend tracking.
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/artifact_store.hpp"
+#include "core/incremental.hpp"
+#include "netlist/diff.hpp"
+#include "netlist/hash.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+memsys::GateLevelOptions editedOptions() {
+  memsys::GateLevelOptions o = memsys::GateLevelOptions::v1();
+  o.wbufParity = true;  // the Section-6 write-buffer parity measure
+  return o;
+}
+
+struct RunOut {
+  double seconds = 0.0;
+  core::IncrementalCampaign camp;
+  double sff = 0.0;
+};
+
+/// One full flow-graph run (analysis stages + zone-failure campaign)
+/// against the given artifact store directory.
+RunOut runFlow(const memsys::GateLevelDesign& d, const std::string& dir) {
+  const auto wopt = benchutil::workloadOptions(2000);
+  RunOut out;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::ArtifactStore store(dir);
+  core::IncrementalOptions iopt;
+  iopt.store = &store;
+  iopt.workloadTag =
+      netlist::hashMix(netlist::hashString("protection-ip-workload"),
+                       netlist::hashMix(wopt.cycles, wopt.seed));
+  iopt.memFaultsPerKind = 48;
+  core::IncrementalFlow inc(d.nl, core::makeFrmemFlowConfig(d), iopt);
+  memsys::ProtectionIpWorkload wl(d, wopt);
+  out.camp = inc.runZoneFailureCampaign(wl, /*perBit=*/1, /*seed=*/7,
+                                        /*detectionWindow=*/24);
+  out.sff = inc.flow().sff();
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+bool sameVerdicts(const core::IncrementalCampaign& a,
+                  const core::IncrementalCampaign& b) {
+  if (a.result.records.size() != b.result.records.size()) return false;
+  for (std::size_t i = 0; i < a.result.records.size(); ++i) {
+    const auto& ra = a.result.records[i];
+    const auto& rb = b.result.records[i];
+    if (ra.outcome != rb.outcome || ra.obs.diag != rb.obs.diag ||
+        ra.obs.obs != rb.obs.obs || ra.obs.sens != rb.obs.sens) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void printTable() {
+  benchutil::banner("INCREMENTAL",
+                    "flow-graph artifact reuse: cold vs warm vs one-edit delta");
+  const std::string coldDir = "bench_inc_store_cold";
+  const std::string warmDir = "bench_inc_store_warm";
+  std::filesystem::remove_all(coldDir);
+  std::filesystem::remove_all(warmDir);
+
+  const memsys::GateLevelDesign base =
+      memsys::buildProtectionIp(memsys::GateLevelOptions::v1());
+  const memsys::GateLevelDesign edited = memsys::buildProtectionIp(editedOptions());
+  std::cout << "edit v1 -> v1+wbuf-parity: "
+            << netlist::diff(base.nl, edited.nl).touchedCells()
+            << " touched cells of " << edited.nl.cellCount() << "\n\n";
+
+  // Cold: empty store, every stage and every fault computed from scratch.
+  const RunOut cold = runFlow(edited, coldDir);
+  // Warm no-op: identical design against the populated store — the whole
+  // campaign artifact binds back without a single simulation.
+  const RunOut noop = runFlow(edited, coldDir);
+  // One-edit delta: warm the second store with the v1 baseline, then run
+  // the edited design — only the affected cone re-simulates.
+  const RunOut basewarm = runFlow(base, warmDir);
+  const RunOut delta = runFlow(edited, warmDir);
+
+  const bool identical = sameVerdicts(cold.camp, delta.camp) &&
+                         sameVerdicts(cold.camp, noop.camp) &&
+                         cold.sff == delta.sff;
+  const double fraction =
+      delta.camp.delta.total == 0
+          ? 0.0
+          : static_cast<double>(delta.camp.delta.simulated) /
+                static_cast<double>(delta.camp.delta.total);
+
+  std::cout << "path            |  wall s | faults | re-simulated | speedup\n";
+  const auto row = [&](const char* label, const RunOut& r) {
+    std::printf("%-15s | %7.2f | %6zu | %12zu | %6.2fx\n", label, r.seconds,
+                r.camp.delta.total, r.camp.delta.simulated,
+                cold.seconds / r.seconds);
+  };
+  row("cold", cold);
+  row("warm no-op", noop);
+  row("v1 base (warm)", basewarm);
+  row("one-edit delta", delta);
+  std::cout << "delta verdicts vs cold run: "
+            << (identical ? "IDENTICAL" : "** MISMATCH **") << "\n\n";
+
+  benchutil::JsonDump dump("BENCH_incremental.json");
+  dump.field("design", "frmem-v1+wbuf-parity")
+      .field("edit", "wbuf-parity")
+      .field("workload_cycles", static_cast<std::uint64_t>(2000))
+      .field("identical_to_cold", identical)
+      .field("cold_wall_s", cold.seconds)
+      .field("warm_noop_wall_s", noop.seconds)
+      .field("warm_noop_speedup", cold.seconds / noop.seconds)
+      .field("delta_wall_s", delta.seconds)
+      .field("delta_speedup", cold.seconds / delta.seconds)
+      .field("faults_total", static_cast<std::uint64_t>(delta.camp.delta.total))
+      .field("faults_reused",
+             static_cast<std::uint64_t>(delta.camp.delta.reused))
+      .field("faults_resimulated",
+             static_cast<std::uint64_t>(delta.camp.delta.simulated))
+      .field("faults_revalidated",
+             static_cast<std::uint64_t>(delta.camp.delta.revalidated))
+      .field("resim_fraction", fraction);
+  dump.write();
+}
+
+void BM_HashNetlist(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::hashNetlist(f.v2.nl));
+  }
+}
+BENCHMARK(BM_HashNetlist)->Unit(benchmark::kMicrosecond);
+
+void BM_NetlistDiff(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    const auto d = netlist::diff(f.v1.nl, f.v2.nl);
+    benchmark::DoNotOptimize(d.addedCells.size());
+  }
+}
+BENCHMARK(BM_NetlistDiff)->Unit(benchmark::kMillisecond);
+
+void BM_AffectedCone(benchmark::State& state) {
+  const memsys::GateLevelDesign base =
+      memsys::buildProtectionIp(memsys::GateLevelOptions::v1());
+  const memsys::GateLevelDesign edited = memsys::buildProtectionIp(editedOptions());
+  const netlist::NetlistDiff d = netlist::diff(base.nl, edited.nl);
+  const netlist::CompiledDesignPtr cd = netlist::compile(edited.nl);
+  for (auto _ : state) {
+    const auto cone = netlist::affectedCone(*cd, d);
+    benchmark::DoNotOptimize(cone.affectedCells);
+  }
+}
+BENCHMARK(BM_AffectedCone)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

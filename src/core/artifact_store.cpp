@@ -1,0 +1,107 @@
+#include "core/artifact_store.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "netlist/hash.hpp"
+
+namespace socfmea::core {
+
+ArtifactStore::ArtifactStore(std::filesystem::path dir,
+                             std::size_t lruCapacity)
+    : dir_(std::move(dir)), lruCapacity_(lruCapacity == 0 ? 1 : lruCapacity) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("ArtifactStore: cannot create " + dir_.string() +
+                             ": " + ec.message());
+  }
+}
+
+std::optional<obs::Json> ArtifactStore::load(std::string_view stage,
+                                             std::uint64_t key) {
+  return loadFile(std::string(stage) + "-" + netlist::hashHex(key) + ".json");
+}
+
+void ArtifactStore::save(std::string_view stage, std::uint64_t key,
+                         const obs::Json& a) {
+  saveFile(std::string(stage) + "-" + netlist::hashHex(key) + ".json", a);
+}
+
+std::optional<obs::Json> ArtifactStore::loadHead(std::string_view name) {
+  return loadFile("head-" + std::string(name) + ".json");
+}
+
+void ArtifactStore::saveHead(std::string_view name, const obs::Json& a) {
+  saveFile("head-" + std::string(name) + ".json", a);
+}
+
+obs::Json ArtifactStore::statsJson() const {
+  obs::Json j = obs::Json::object();
+  j["memory_hits"] = static_cast<long long>(stats_.memoryHits);
+  j["disk_hits"] = static_cast<long long>(stats_.diskHits);
+  j["misses"] = static_cast<long long>(stats_.misses);
+  j["stores"] = static_cast<long long>(stats_.stores);
+  return j;
+}
+
+std::optional<obs::Json> ArtifactStore::loadFile(const std::string& file) {
+  const auto it = lruIndex_.find(file);
+  if (it != lruIndex_.end()) {
+    ++stats_.memoryHits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  std::ifstream in(dir_ / file, std::ios::binary);
+  if (!in) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    obs::Json a = obs::Json::parse(text.str());
+    ++stats_.diskHits;
+    touchLru(file, a);
+    return a;
+  } catch (const std::exception&) {
+    ++stats_.misses;  // corrupt file: treated as a miss, recomputed over
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::saveFile(const std::string& file, const obs::Json& a) {
+  const std::filesystem::path tmp = dir_ / (file + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ArtifactStore: cannot write " + tmp.string());
+    }
+    out << a.dump(2) << '\n';
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, dir_ / file, ec);
+  if (ec) {
+    throw std::runtime_error("ArtifactStore: cannot finalize " +
+                             (dir_ / file).string() + ": " + ec.message());
+  }
+  ++stats_.stores;
+  touchLru(file, a);
+}
+
+void ArtifactStore::touchLru(const std::string& file, const obs::Json& a) {
+  const auto it = lruIndex_.find(file);
+  if (it != lruIndex_.end()) {
+    it->second->second = a;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(file, a);
+  lruIndex_[file] = lru_.begin();
+  while (lru_.size() > lruCapacity_) {
+    lruIndex_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace socfmea::core

@@ -135,7 +135,23 @@ ValidationReport ResultAnalyzer::validate(const fmea::FmeaSheet& sheet,
     // The S estimate mixes architectural and temporal masking whose
     // experimental split is workload-conditioned, so it gets twice the band
     // (the paper's "in line with the estimated values").
-    c.pass = dS <= 2.0 * tolerance && dD <= tolerance;
+    //
+    // The DDF comparison is a statistical refutation, not a point check:
+    // measuredDdf is a Bernoulli estimate over the zone's non-masked
+    // injections (often < 10 at step-(a) sample budgets), so the claim only
+    // fails when it lies outside the measurement's one-sided ~99 %
+    // confidence band (z = 2.5, continuity-corrected).  Gross overclaims
+    // are still rejected at any sample count, and the band tightens as
+    // 1/sqrt(n) when a campaign raises the per-bit injection budget.
+    const std::size_t ddfSamples =
+        m.safeDetected + m.dangerousDetected + m.undetected;
+    double ddfBand = 0.0;
+    if (ddfSamples > 0) {
+      const double p = c.measuredDdf;
+      const double n = static_cast<double>(ddfSamples);
+      ddfBand = 2.5 * std::sqrt(p * (1.0 - p) / n) + 0.5 / n;
+    }
+    c.pass = dS <= 2.0 * tolerance && dD <= tolerance + ddfBand;
     rep.zones.push_back(std::move(c));
   }
   rep.pass = std::all_of(rep.zones.begin(), rep.zones.end(),

@@ -6,6 +6,7 @@
 #include "core/thread_pool.hpp"
 #include "fault/engine_context.hpp"
 #include "faultsim/parallel.hpp"
+#include "netlist/hash.hpp"
 #include "obs/telemetry.hpp"
 
 namespace socfmea::inject {
@@ -451,13 +452,17 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
 fault::FaultList InjectionManager::zoneFailureFaults(
     const OperationalProfile& profile, std::size_t perBit,
     std::uint64_t seed) const {
-  sim::Rng rng(seed);
   fault::FaultList out;
   const auto& db = *env_.zones;
   for (zones::ZoneId zid : env_.targetZones) {
     const zones::SensibleZone& z = db.zone(zid);
     const auto& act = profile.zone(zid);
-    const auto pickCycle = [&]() -> std::uint64_t {
+    // One RNG per fault site, derived from (seed, site name): the draws for
+    // a site are independent of every other zone and flip-flop in the list,
+    // so an architectural edit that adds or removes zones leaves the faults
+    // of untouched sites identical — the property the incremental flow's
+    // delta-campaign reuse keys on.
+    const auto pickCycle = [&](sim::Rng& rng) -> std::uint64_t {
       if (!act.activeCycles.empty()) {
         return act.activeCycles[rng.below(act.activeCycles.size())];
       }
@@ -465,24 +470,27 @@ fault::FaultList InjectionManager::zoneFailureFaults(
     };
     if (z.kind == zones::ZoneKind::Memory) {
       const auto& mem = nl_->memory(z.mem);
+      sim::Rng rng(netlist::hashMix(seed, netlist::hashString(z.name)));
       for (std::size_t i = 0; i < perBit * 4; ++i) {
         fault::Fault f;
         f.kind = fault::FaultKind::MemSoftError;
         f.mem = z.mem;
         f.addr = rng.below(std::uint64_t{1} << mem.addrBits);
         f.bit = static_cast<std::uint32_t>(rng.below(mem.dataBits));
-        f.cycle = pickCycle();
+        f.cycle = pickCycle(rng);
         out.push_back(f);
       }
       continue;
     }
     for (netlist::CellId ff : z.ffs) {
+      sim::Rng rng(
+          netlist::hashMix(seed, netlist::hashString(nl_->cell(ff).name)));
       for (std::size_t i = 0; i < perBit; ++i) {
         fault::Fault f;
         f.kind = fault::FaultKind::SeuFlip;
         f.cell = ff;
         f.net = nl_->cell(ff).output;
-        f.cycle = pickCycle();
+        f.cycle = pickCycle(rng);
         out.push_back(f);
       }
     }

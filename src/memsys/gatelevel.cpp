@@ -100,9 +100,13 @@ GateLevelDesign buildProtectionIp(const GateLevelOptions& opt) {
   d.addr = b.inputBus("addr", A);
   d.wdata = b.inputBus("wdata", kDataBits);
   d.bistEn = opt.includeBist ? b.input("bist_en") : b.constNet(false);
-  const bool hasCheckers = opt.postCoderChecker || opt.redundantChecker ||
-                           opt.wbufParity || opt.monitoredOutputs;
-  d.chkTest = hasCheckers ? b.input("chk_test") : b.constNet(false);
+  // The latent-fault strobe pin exists in EVERY variant (mirroring the
+  // workload's unconditional self-test window): gating it on the checker
+  // options would re-drive the BIST alarm strobe below from a const cell in
+  // v1 and an input cell in v2, making that OR gate a structural diff and
+  // pulling its whole read-back cone into the incremental flow's affected
+  // set on every v1 -> v1+checker iteration.
+  d.chkTest = b.input("chk_test");
 
   // ---- BIST engine (pattern generator + address counter) ---------------------
   // Muxed in front of the bus-interface registers: when bist_en is high the

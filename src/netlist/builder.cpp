@@ -22,7 +22,13 @@ std::string Builder::qualify(std::string_view name) const {
 }
 
 std::string Builder::freshName(std::string_view hint) {
-  return qualify(std::string(hint) + "$" + std::to_string(anonCounter_++));
+  // One counter per qualified hint, NOT one global counter: the anonymous
+  // names must be insertion-stable so that adding cells in one scope does
+  // not rename every cell built after it.  The incremental flow identifies
+  // cells across architectural iterations by name — a global counter would
+  // turn a one-scope edit into a whole-design diff.
+  const std::string base = qualify(hint);
+  return base + "$" + std::to_string(anonCounters_[base]++);
 }
 
 NetId Builder::freshNet(std::string_view hint) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -118,7 +119,8 @@ class Builder {
 
   Netlist& nl_;
   std::vector<std::string> scope_;
-  std::uint64_t anonCounter_ = 0;
+  /// Anonymous-name counters, one per qualified hint (insertion-stable).
+  std::unordered_map<std::string, std::uint64_t> anonCounters_;
 };
 
 }  // namespace socfmea::netlist
