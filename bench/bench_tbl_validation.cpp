@@ -3,11 +3,12 @@
 // FMEA, (b) workload toggle coverage >= 99 %, (c) selective local faults on
 // the critical areas + fault-simulator permanent-fault DC vs the claimed
 // DDF, (d) selective wide/global faults confirming the multiple-failure
-// predictions.  Ablation: serial vs 64-lane parallel fault simulation.
+// predictions.  Ablation: serial vs bit-sliced fault simulation.
 #include "bench_util.hpp"
 #include "core/validation.hpp"
 #include "fault/collapse.hpp"
-#include "faultsim/parallel.hpp"
+#include "faultsim/bitsliced.hpp"
+#include "faultsim/toggle.hpp"
 #include "inject/workload.hpp"
 #include "netlist/builder.hpp"
 
@@ -71,8 +72,7 @@ void printTable() {
   }
 }
 
-// Pure-logic design for the serial-vs-parallel ablation (BitSim does not
-// carry behavioural memories).
+// Small pipelined design for the serial-vs-bitsliced ablation.
 struct LogicOnly {
   netlist::Netlist n{"logic"};
   netlist::NetId rst;
@@ -112,20 +112,21 @@ void BM_SerialFaultSim(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialFaultSim)->Unit(benchmark::kMillisecond);
 
-void BM_ParallelFaultSim(benchmark::State& state) {
+void BM_BitslicedFaultSim(benchmark::State& state) {
   auto& d = logicDesign();
   inject::RandomWorkload wl(d.n, 128, 9, {{d.rst, false}});
   auto faults = fault::allStuckAtFaults(d.n);
   fault::collapseStuckAt(d.n, faults);
-  const auto stim = faultsim::recordStimulus(d.n, wl);
+  faultsim::FaultSimOptions opt;
+  opt.engine = faultsim::EngineKind::Bitsliced;
   for (auto _ : state) {
-    const auto res = faultsim::runParallelFaultSim(d.n, stim, faults);
+    const auto res = faultsim::runBitslicedFaultSim(d.n, wl, faults, opt);
     benchmark::DoNotOptimize(res.coverage());
     state.counters["faults/s"] = benchmark::Counter(
         static_cast<double>(faults.size()), benchmark::Counter::kIsRate);
   }
 }
-BENCHMARK(BM_ParallelFaultSim)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BitslicedFaultSim)->Unit(benchmark::kMillisecond);
 
 void BM_ToggleCoverage(benchmark::State& state) {
   auto& f = benchutil::frmem();

@@ -34,11 +34,14 @@ GATE="$BUILD/tools/report_gate"
     || die "flow produced an empty report — golden NOT updated"
 
 # The golden is a subset spec: drop the machine/timing-dependent telemetry
-# section, keep every deterministic metric (zone table, lambda/DC/SFF,
-# verdicts, campaign outcome tallies).
+# section (which also carries the faultsim.bitsliced.* engine counters) and
+# the campaign "execution" sections (cycles simulated, checkpoint and
+# retirement counters — legitimately different between the serial, threaded
+# and bit-sliced engines), keep every deterministic metric (zone table,
+# lambda/DC/SFF, verdicts, campaign outcome tallies).
 mkdir -p reports
 "$GATE" strip "$BUILD/memsys_sil3.json" \
-    reports/memsys_sil3.golden.json telemetry \
+    reports/memsys_sil3.golden.json telemetry execution \
     || die "report_gate strip failed — golden NOT updated"
 
 # Self-check: the new golden must pass the same gate CI runs against it.

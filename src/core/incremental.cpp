@@ -4,7 +4,7 @@
 
 #include "fault/fault_list.hpp"
 #include "fault/serialize.hpp"
-#include "faultsim/parallel.hpp"
+#include "faultsim/stimulus.hpp"
 #include "inject/env_builder.hpp"
 #include "netlist/hash.hpp"
 #include "netlist/text_format.hpp"
@@ -19,9 +19,9 @@ using netlist::hashString;
 namespace {
 
 std::uint64_t campaignOptionsHash(const inject::CampaignOptions& copt) {
-  // threads / evalMode / checkpointInterval are excluded on purpose: the
-  // engines are record-identical across them (CI-tested), so they must not
-  // split the cache.
+  // engine / laneWords / threads / evalMode / checkpointInterval are
+  // excluded on purpose: the engines are record-identical across them
+  // (CI-tested), so they must not split the cache.
   std::uint64_t h = hashMix(0xCA4Bu, copt.earlyAbort ? 1 : 0);
   h = hashMix(h, copt.drainCycles);
   if (copt.preexisting) {

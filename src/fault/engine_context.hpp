@@ -1,7 +1,7 @@
 // Shared per-campaign evaluation context: the design plus its compiled IR,
 // built once and handed to every fault-campaign engine and worker so a
 // design is levelized and flattened exactly once per campaign instead of
-// once per Simulator / BitSim / golden-recorder instance.
+// once per Simulator / word-engine / golden-recorder instance.
 #pragma once
 
 #include <stdexcept>

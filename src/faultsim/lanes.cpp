@@ -1,0 +1,160 @@
+#include "faultsim/lanes.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace socfmea::faultsim {
+
+namespace {
+
+[[nodiscard]] bool noSimdRequested() noexcept {
+  const char* v = std::getenv("SOCFMEA_NO_SIMD");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+[[nodiscard]] unsigned autoLaneWords() noexcept {
+#if defined(__AVX2__)
+  return 4;  // one 256-bit register per net word
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  return 2;  // one 128-bit register per net word
+#else
+  return 1;  // portable scalar fallback
+#endif
+}
+
+}  // namespace
+
+unsigned resolveLaneWords(unsigned requested) noexcept {
+  if (noSimdRequested()) return 1;
+  const unsigned w = requested == 0 ? autoLaneWords() : requested;
+  if (w >= 4) return 4;
+  if (w >= 2) return 2;
+  return 1;
+}
+
+const char* simdTargetName() noexcept {
+  if (noSimdRequested()) return "portable";
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  return "neon";
+#else
+  return "portable";
+#endif
+}
+
+std::vector<netlist::NetId> faultSeedNets(const netlist::CompiledDesign& cd,
+                                          const fault::Fault& f) {
+  using fault::FaultKind;
+  std::vector<netlist::NetId> seeds;
+  const auto push = [&](netlist::NetId n) {
+    if (n != netlist::kNoNet) seeds.push_back(n);
+  };
+  switch (f.kind) {
+    case FaultKind::StuckAt0:
+    case FaultKind::StuckAt1:
+    case FaultKind::SetPulse:
+      push(f.net);
+      break;
+    case FaultKind::BridgeAnd:
+    case FaultKind::BridgeOr:
+      push(f.net);
+      push(f.net2);
+      break;
+    case FaultKind::SeuFlip:
+    case FaultKind::DelayStale:
+      if (f.cell != netlist::kNoCell && f.cell < cd.cellCount()) {
+        push(cd.cellOutput(f.cell));
+      }
+      push(f.net);  // fault lists often carry the Q net here too
+      break;
+    case FaultKind::MemStuckBit:
+    case FaultKind::MemAddrNone:
+    case FaultKind::MemAddrWrong:
+    case FaultKind::MemAddrMulti:
+    case FaultKind::MemCoupling:
+    case FaultKind::MemSoftError:
+      if (f.mem < cd.design().memoryCount()) {
+        for (const netlist::NetId r : cd.design().memory(f.mem).rdata) {
+          push(r);
+        }
+      }
+      break;
+  }
+  return seeds;
+}
+
+void ConeUnion::rebuild(const netlist::CompiledDesign& cd,
+                        const std::vector<netlist::NetId>& seeds) {
+  reach = netlist::forwardReach(cd, seeds);
+  levelLive.assign(cd.levelCount(), 0);
+  markLevels(cd);
+}
+
+void ConeUnion::extend(const netlist::CompiledDesign& cd,
+                       const std::vector<netlist::NetId>& seeds) {
+  netlist::extendForwardReach(cd, reach, seeds);
+  markLevels(cd);
+}
+
+void ConeUnion::markLevels(const netlist::CompiledDesign& cd) {
+  // The sweep must also evaluate the *drivers* of seed nets (a released SET
+  // pulse or a re-resolved bridge net re-derives its value from the driver,
+  // which sits upstream of the cone proper), so mark the level of every
+  // comb cell that drives a reached net as well as every reached cell.
+  for (std::uint32_t pos = 0; pos < cd.combCount(); ++pos) {
+    if (levelLive[cd.combLevel(pos)] != 0) continue;
+    if (reach.cellReached(cd.combCell(pos)) ||
+        reach.netReached(cd.combOutput(pos))) {
+      levelLive[cd.combLevel(pos)] = 1;
+    }
+  }
+}
+
+LaneScheduler::LaneScheduler(const fault::FaultList& faults)
+    : faults_(&faults) {
+  order_.resize(faults.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const fault::Fault& fa = faults[a];
+                     const fault::Fault& fb = faults[b];
+                     const std::uint64_t ca = fa.transient() ? fa.cycle : 0;
+                     const std::uint64_t cb = fb.transient() ? fb.cycle : 0;
+                     if (fa.transient() != fb.transient()) {
+                       return !fa.transient();  // permanents first
+                     }
+                     return ca < cb;
+                   });
+  taken_.assign(order_.size(), 0);
+}
+
+std::vector<std::size_t> LaneScheduler::takeGroup(std::size_t maxLanes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::size_t> group;
+  while (head_ < order_.size() && taken_[head_] != 0) ++head_;
+  for (std::size_t i = head_; i < order_.size() && group.size() < maxLanes;
+       ++i) {
+    if (taken_[i] != 0) continue;
+    taken_[i] = 1;
+    group.push_back(order_[i]);
+  }
+  return group;
+}
+
+std::optional<std::size_t> LaneScheduler::takeRefill(std::uint64_t minCycle) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  while (head_ < order_.size() && taken_[head_] != 0) ++head_;
+  for (std::size_t i = head_; i < order_.size(); ++i) {
+    if (taken_[i] != 0) continue;
+    const fault::Fault& f = (*faults_)[order_[i]];
+    if (!f.transient()) continue;
+    if (f.cycle < minCycle) continue;
+    taken_[i] = 1;
+    return order_[i];
+  }
+  return std::nullopt;
+}
+
+}  // namespace socfmea::faultsim

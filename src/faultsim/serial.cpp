@@ -16,6 +16,16 @@ std::vector<netlist::CellId> resolveOutputs(const netlist::Netlist& nl,
 
 }  // namespace
 
+std::string_view engineKindName(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::Auto: return "auto";
+    case EngineKind::Serial: return "serial";
+    case EngineKind::Threaded: return "threaded";
+    case EngineKind::Bitsliced: return "bitsliced";
+  }
+  return "?";
+}
+
 GoldenTrace recordGolden(const netlist::Netlist& nl, sim::Workload& wl,
                          const FaultSimOptions& opt) {
   const fault::EngineContext ctx(nl);

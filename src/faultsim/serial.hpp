@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "fault/engine_context.hpp"
@@ -21,6 +22,23 @@ enum class FaultOutcome : std::uint8_t {
   Detected,    ///< a primary output diverged from the golden run
   Undetected,  ///< ran the full workload without divergence
 };
+
+/// Which fault-simulation engine a campaign layer dispatches to.  Every
+/// engine produces bit-identical verdicts and tallies (CI-tested); they
+/// differ only in throughput and in which execution counters they fill.
+enum class EngineKind : std::uint8_t {
+  /// Threaded when opt.threads != 1, otherwise the serial oracle.
+  Auto,
+  /// One faulty machine at a time — the reference oracle.
+  Serial,
+  /// Checkpoint-forking worker pool, one whole machine per fault.
+  Threaded,
+  /// Bit-sliced fault-parallel engine: 64 faulty machines per word-lane
+  /// group, evaluated in lockstep as divergence against a golden machine.
+  Bitsliced,
+};
+
+[[nodiscard]] std::string_view engineKindName(EngineKind k) noexcept;
 
 struct FaultSimResult {
   std::size_t total = 0;
@@ -48,6 +66,15 @@ struct FaultSimOptions {
   /// Stop a faulty machine at first divergence (classic fault-sim early
   /// abort); disable to count divergence cycles.
   bool earlyAbort = true;
+  /// Engine selection for runFaultSim.  Auto keeps the historical
+  /// behaviour (threads decides); Bitsliced packs 64*laneWords machines
+  /// per word group.  Verdicts are bit-identical across engines.
+  EngineKind engine = EngineKind::Auto;
+  /// Bit-sliced lane width in 64-bit words per net (1/2/4 = 64/128/256
+  /// lanes); 0 picks the widest the build's SIMD target supports
+  /// (overridable at run time with SOCFMEA_NO_SIMD=1).  Ignored by the
+  /// other engines.
+  unsigned laneWords = 0;
   /// runFaultSim parallelism: 1 = the serial engine below (the reference
   /// oracle), 0 = hardware concurrency, N = N workers.  Verdicts are
   /// bit-identical regardless of the value.

@@ -1,0 +1,33 @@
+// Recorded primary-input stimulus: one fault-free run captures what the
+// workload drives per cycle, and every campaign engine replays the recording
+// (plus the workload's deterministic backdoor actions) instead of calling
+// drive() per faulty machine — drive() may mutate workload state, replay may
+// not.  Shared by the threaded and bit-sliced engines and the injection
+// manager.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/engine_context.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/workload.hpp"
+
+namespace socfmea::faultsim {
+
+/// Recorded per-cycle primary-input stimulus.
+struct StimulusTrace {
+  std::vector<netlist::NetId> inputs;     ///< primary input nets
+  std::vector<std::vector<bool>> values;  ///< [cycle][input]
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return values.size(); }
+};
+
+/// Records the stimulus a workload produces (one fault-free run).
+[[nodiscard]] StimulusTrace recordStimulus(const netlist::Netlist& nl,
+                                           sim::Workload& wl);
+
+/// EngineContext form: the recording Simulator shares the compiled design.
+[[nodiscard]] StimulusTrace recordStimulus(const fault::EngineContext& ctx,
+                                           sim::Workload& wl);
+
+}  // namespace socfmea::faultsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/thread_pool.hpp"
+#include "faultsim/bitsliced.hpp"
 #include "obs/telemetry.hpp"
 
 namespace socfmea::faultsim {
@@ -75,7 +76,17 @@ FaultSimResult runFaultSim(const netlist::Netlist& nl, sim::Workload& wl,
 FaultSimResult runFaultSim(const fault::EngineContext& ctx, sim::Workload& wl,
                            const fault::FaultList& faults,
                            const FaultSimOptions& opt) {
-  if (opt.threads == 1) return runSerialFaultSim(ctx, wl, faults, opt);
+  switch (opt.engine) {
+    case EngineKind::Serial:
+      return runSerialFaultSim(ctx, wl, faults, opt);
+    case EngineKind::Bitsliced:
+      return runBitslicedFaultSim(ctx, wl, faults, opt);
+    case EngineKind::Threaded:
+      break;  // the worker pool below, even with threads == 1
+    case EngineKind::Auto:
+      if (opt.threads == 1) return runSerialFaultSim(ctx, wl, faults, opt);
+      break;
+  }
 
   obs::ScopedTimer timer("faultsim.threaded");
   const GoldenState g = [&] {

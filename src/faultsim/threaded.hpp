@@ -11,13 +11,17 @@
 // checkpoint interval; only simulatedCycles / checkpoint stats differ.
 #pragma once
 
-#include "faultsim/parallel.hpp"
 #include "faultsim/serial.hpp"
+#include "faultsim/stimulus.hpp"
 
 namespace socfmea::faultsim {
 
-/// Runs the fault list honouring opt.threads: 1 dispatches to the legacy
-/// serial engine (the reference oracle); 0 = hardware concurrency.
+/// Runs the fault list honouring opt.engine and opt.threads: Auto keeps the
+/// historical behaviour (threads == 1 dispatches to the serial reference
+/// oracle, anything else to the checkpoint-forking worker pool; 0 =
+/// hardware concurrency); Bitsliced packs 64*laneWords machines per word
+/// group (see faultsim/bitsliced.hpp).  Verdicts are bit-identical across
+/// engines.
 [[nodiscard]] FaultSimResult runFaultSim(const netlist::Netlist& nl,
                                          sim::Workload& wl,
                                          const fault::FaultList& faults,

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
 #include "core/thread_pool.hpp"
 #include "fault/engine_context.hpp"
-#include "faultsim/parallel.hpp"
+#include "faultsim/bitsliced.hpp"
+#include "faultsim/stimulus.hpp"
 #include "netlist/hash.hpp"
 #include "obs/telemetry.hpp"
 
@@ -198,7 +200,17 @@ CampaignResult InjectionManager::run(sim::Workload& wl,
                                      const fault::FaultList& faults,
                                      CoverageCollector* coverage,
                                      const CampaignOptions& opt) {
-  if (opt.threads != 1) return runParallel(wl, faults, coverage, opt);
+  switch (opt.engine) {
+    case faultsim::EngineKind::Serial:
+      break;  // the serial loop below, regardless of opt.threads
+    case faultsim::EngineKind::Threaded:
+      return runParallel(wl, faults, coverage, opt);
+    case faultsim::EngineKind::Bitsliced:
+      return runBitsliced(wl, faults, coverage, opt);
+    case faultsim::EngineKind::Auto:
+      if (opt.threads != 1) return runParallel(wl, faults, coverage, opt);
+      break;
+  }
   obs::Registry& reg = obs::Registry::global();
   obs::ScopedTimer campaignTimer("inject.campaign.serial");
   // Record the stimulus once; golden and every faulty machine replay it
@@ -446,6 +458,79 @@ CampaignResult InjectionManager::runParallel(sim::Workload& wl,
     reg.set("inject.parallel.worker_utilization",
             mean / static_cast<double>(busiest));
   }
+  return result;
+}
+
+CampaignResult InjectionManager::runBitsliced(sim::Workload& wl,
+                                              const fault::FaultList& faults,
+                                              CoverageCollector* coverage,
+                                              const CampaignOptions& opt) {
+  if (opt.preexisting.has_value()) {
+    throw std::invalid_argument(
+        "InjectionManager: the bit-sliced engine does not support latent "
+        "(preexisting) faults; use the serial or threaded engine");
+  }
+  obs::Registry& reg = obs::Registry::global();
+  const obs::ScopedTimer campaignTimer("inject.campaign.bitsliced");
+  const fault::EngineContext ctx(*nl_, cd_);
+  const auto& db = *env_.zones;
+
+  faultsim::LaneWatch watch;
+  watch.groups.reserve(env_.targetZones.size());
+  for (const zones::ZoneId zid : env_.targetZones) {
+    watch.groups.push_back(db.zone(zid).valueNets);
+  }
+  watch.points = env_.obsNets;
+  watch.asserted = env_.alarmNets;
+  watch.detectionWindow = env_.detectionWindow;
+
+  faultsim::FaultSimOptions fopt;
+  fopt.earlyAbort = opt.earlyAbort;
+  fopt.laneWords = opt.laneWords;
+  fopt.threads = opt.threads;
+  fopt.checkpointInterval = opt.checkpointInterval;
+  fopt.evalMode = opt.evalMode;
+
+  faultsim::BitslicedStats stats;
+  const faultsim::BitslicedCampaign campaign =
+      faultsim::runBitslicedWatch(ctx, wl, faults, watch, fopt, &stats);
+
+  CampaignResult result;
+  result.records.reserve(faults.size());
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const faultsim::LaneObservation& lo = campaign.observations[fi];
+    InjectionRecord rec;
+    rec.fault = faults[fi];
+    rec.zone = targetZoneOf(db, faults[fi]);
+    rec.obs.sens = lo.sens;
+    rec.obs.sensCycle = lo.sensCycle;
+    rec.obs.zonesDeviated.reserve(lo.groupsDeviated.size());
+    for (const std::uint32_t t : lo.groupsDeviated) {
+      rec.obs.zonesDeviated.push_back(db.zone(env_.targetZones[t]).id);
+    }
+    rec.obs.obs = lo.obs;
+    rec.obs.firstObsCycle = lo.firstObsCycle;
+    rec.obs.obsDeviated.reserve(lo.pointsDeviated.size());
+    for (const std::uint32_t i : lo.pointsDeviated) {
+      rec.obs.obsDeviated.push_back(env_.obsIds[i]);
+    }
+    rec.obs.diag = lo.diag;
+    rec.obs.diagCycle = lo.diagCycle;
+    rec.outcome = classifyObservation(rec.obs, env_.detectionWindow);
+    if (coverage != nullptr) coverage->account(rec.obs);
+    result.records.push_back(std::move(rec));
+  }
+  result.cyclesSimulated = campaign.cyclesSimulated;
+  result.checkpointHits = campaign.checkpointHits;
+  result.checkpointCyclesSkipped = campaign.checkpointCyclesSkipped;
+  result.convergedEarly = campaign.convergedEarly;
+
+  reg.add("inject.campaigns");
+  reg.add("inject.faults_simulated", faults.size());
+  reg.add("inject.cycles_simulated", result.cyclesSimulated);
+  reg.add("inject.checkpoint_hits", result.checkpointHits);
+  reg.add("inject.checkpoint_cycles_skipped", result.checkpointCyclesSkipped);
+  reg.add("inject.converged_early", result.convergedEarly);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "fault/harness.hpp"
+#include "faultsim/serial.hpp"
 #include "inject/coverage.hpp"
 #include "inject/monitors.hpp"
 #include "netlist/compiled.hpp"
@@ -123,6 +124,22 @@ struct CampaignOptions {
   /// has already defeated part of the diagnostics — the reason the norm
   /// demands latent-fault tests at HFT 0.
   std::optional<fault::Fault> preexisting;
+  /// Campaign engine.  Auto keeps the historical behaviour (threads
+  /// decides between the serial oracle and the checkpoint-forking worker
+  /// pool); Bitsliced packs 64*laneWords faulty machines per SIMD word
+  /// group (faultsim/bitsliced.hpp) and composes with threads (one word
+  /// group per pool task).  Records and every IEC metric are bit-identical
+  /// across engines; only the "execution" counters differ.  The bit-sliced
+  /// engine rejects `preexisting` (latent faults) with
+  /// std::invalid_argument.  `engine` and `laneWords` are deliberately
+  /// excluded from the incremental flow's campaign-options hash
+  /// (core/incremental.cpp) — switching engines must not invalidate cached
+  /// campaign records, precisely because the records are identical.
+  faultsim::EngineKind engine = faultsim::EngineKind::Auto;
+  /// Bit-sliced lane width in 64-bit words per net (1/2/4 = 64/128/256
+  /// lanes); 0 picks the widest the build's SIMD target supports
+  /// (SOCFMEA_NO_SIMD=1 forces 1 at run time).  Other engines ignore it.
+  unsigned laneWords = 0;
   /// Campaign parallelism: 1 = the legacy serial engine (the reference
   /// oracle, no checkpointing), 0 = hardware concurrency, N = N workers.
   /// Records and every IEC metric are bit-identical regardless of the
@@ -176,6 +193,16 @@ class InjectionManager {
                                            const fault::FaultList& faults,
                                            CoverageCollector* coverage,
                                            const CampaignOptions& opt);
+
+  /// Bit-sliced fault-parallel campaign: builds a LaneWatch from the
+  /// environment (target-zone net groups, observation nets, alarm nets),
+  /// runs faultsim::runBitslicedWatch and maps the lane observations back
+  /// to InjectionRecords.  drainCycles is ignored: monitors never observe
+  /// past the recorded stimulus, so drain cycles cannot change any record.
+  [[nodiscard]] CampaignResult runBitsliced(sim::Workload& wl,
+                                            const fault::FaultList& faults,
+                                            CoverageCollector* coverage,
+                                            const CampaignOptions& opt);
 
   /// Exports compiled-design shape and evaluation-economy telemetry into
   /// the global registry after a campaign.

@@ -119,28 +119,23 @@ NetlistDiff diff(const Netlist& a, const Netlist& b) {
   return d;
 }
 
-namespace {
+ForwardReach forwardReach(const CompiledDesign& cd,
+                          const std::vector<NetId>& seeds) {
+  ForwardReach reach;
+  reach.net.assign(cd.netCount(), 0);
+  reach.cell.assign(cd.cellCount(), 0);
+  reach.mem.assign(cd.design().memoryCount(), 0);
+  extendForwardReach(cd, reach, seeds);
+  return reach;
+}
 
-/// Multi-cycle forward closure (through flip-flops and memories) over the
-/// compiled CSR adjacency: everything whose golden value can diverge.
-struct ForwardMark {
-  std::vector<char> net;
-  std::vector<char> cell;
-  std::vector<char> mem;
-};
-
-ForwardMark forwardClosure(const CompiledDesign& cd,
-                           const std::vector<NetId>& seeds) {
+void extendForwardReach(const CompiledDesign& cd, ForwardReach& reach,
+                        const std::vector<NetId>& seeds) {
   const Netlist& nl = cd.design();
-  ForwardMark mark;
-  mark.net.assign(cd.netCount(), 0);
-  mark.cell.assign(cd.cellCount(), 0);
-  mark.mem.assign(nl.memoryCount(), 0);
-
   std::vector<NetId> stack;
   const auto pushNet = [&](NetId n) {
-    if (n != kNoNet && mark.net[n] == 0) {
-      mark.net[n] = 1;
+    if (n != kNoNet && reach.net[n] == 0) {
+      reach.net[n] = 1;
       stack.push_back(n);
     }
   };
@@ -150,27 +145,24 @@ ForwardMark forwardClosure(const CompiledDesign& cd,
     const NetId n = stack.back();
     stack.pop_back();
     for (const CellId c : cd.fanout(n)) {
-      if (mark.cell[c] != 0) continue;
-      mark.cell[c] = 1;
+      if (reach.cell[c] != 0) continue;
+      reach.cell[c] = 1;
       pushNet(cd.cellOutput(c));  // crosses flip-flops via their Q net
     }
     for (const MemoryId m : cd.memWriteSinks(n)) {
-      if (mark.mem[m] != 0) continue;
-      mark.mem[m] = 1;  // corrupted write resurfaces on the read port
+      if (reach.mem[m] != 0) continue;
+      reach.mem[m] = 1;  // corrupted write resurfaces on the read port
       for (const NetId r : nl.memory(m).rdata) pushNet(r);
     }
   }
-  return mark;
 }
-
-}  // namespace
 
 AffectedCone affectedCone(const CompiledDesign& cd, const NetlistDiff& d,
                           const std::vector<NetId>& extraSeedNets) {
   const Netlist& nl = cd.design();
   std::vector<NetId> seeds = d.seedNets;
   seeds.insert(seeds.end(), extraSeedNets.begin(), extraSeedNets.end());
-  const ForwardMark fwd = forwardClosure(cd, seeds);
+  const ForwardReach fwd = forwardReach(cd, seeds);
 
   AffectedCone cone;
   cone.cell.assign(cd.cellCount(), 0);

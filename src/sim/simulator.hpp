@@ -116,6 +116,23 @@ class Simulator {
   [[nodiscard]] std::uint64_t busValue(const netlist::Bus& bus) const;
   /// Current stored state of a flip-flop.
   [[nodiscard]] Logic ffState(netlist::CellId ff) const { return ffState_.at(ff); }
+  /// Bulk read-only views for lockstep engines that compare a whole machine
+  /// against this one every cycle (the bit-sliced fault-parallel engine).
+  /// netValues() settles first, so the view is always self-consistent.
+  [[nodiscard]] std::span<const Logic> netValues() const {
+    ensureSettled();
+    return netVal_;
+  }
+  [[nodiscard]] std::span<const Logic> ffStates() const noexcept {
+    return ffState_;
+  }
+  [[nodiscard]] std::span<const Logic> ffPrevDs() const noexcept {
+    return ffPrevD_;
+  }
+  /// Registered read data of one memory (post clockEdge).
+  [[nodiscard]] std::span<const Logic> memReadReg(netlist::MemoryId id) const {
+    return memRdataReg_.at(id);
+  }
   [[nodiscard]] MemoryModel& memory(netlist::MemoryId id) { return mems_.at(id); }
   [[nodiscard]] const MemoryModel& memory(netlist::MemoryId id) const {
     return mems_.at(id);

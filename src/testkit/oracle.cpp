@@ -4,14 +4,13 @@
 #include <sstream>
 
 #include "fault/engine_context.hpp"
-#include "faultsim/parallel.hpp"
+#include "faultsim/bitsliced.hpp"
 #include "faultsim/threaded.hpp"
 #include "inject/workload.hpp"
 #include "netlist/text_format.hpp"
 
 namespace socfmea::testkit {
 
-using fault::FaultKind;
 using faultsim::FaultOutcome;
 using faultsim::FaultSimResult;
 
@@ -142,31 +141,20 @@ OracleReport runOracle(const netlist::Netlist& nl, const TestPlan& plan,
     }
   }
 
-  // Bit-parallel engine: stuck-at subset only, and BitSim has no memories.
-  if (opt.runParallel && nl.memoryCount() == 0) {
-    fault::FaultList stuck;
-    std::vector<std::size_t> indexMap;
-    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
-      const auto k = plan.faults[i].kind;
-      if (k == FaultKind::StuckAt0 || k == FaultKind::StuckAt1) {
-        stuck.push_back(plan.faults[i]);
-        indexMap.push_back(i);
-      }
-    }
-    if (!stuck.empty()) {
-      const auto stim = faultsim::recordStimulus(ctx, wl);
-      for (const auto mode :
-           {sim::EvalMode::EventDriven, sim::EvalMode::FullSettle}) {
-        faultsim::FaultSimOptions o;
-        o.evalMode = mode;
-        auto r = faultsim::runParallelFaultSim(ctx, stim, stuck, o);
-        applySabotage(opt.sabotage, Sabotage::Engine::Parallel, mode, r);
-        ++report.combosRun;
-        compareVerdicts(
-            ref, r, indexMap,
-            std::string("parallel/") + std::string(evalModeName(mode)),
-            report);
-      }
+  // Bit-sliced fault-parallel engine: full fault model, full plan list.
+  if (opt.runBitsliced && !plan.faults.empty()) {
+    for (const auto mode :
+         {sim::EvalMode::EventDriven, sim::EvalMode::FullSettle}) {
+      faultsim::FaultSimOptions o;
+      o.engine = faultsim::EngineKind::Bitsliced;
+      o.evalMode = mode;
+      auto r = faultsim::runBitslicedFaultSim(ctx, wl, plan.faults, o);
+      applySabotage(opt.sabotage, Sabotage::Engine::Bitsliced, mode, r);
+      ++report.combosRun;
+      compareVerdicts(
+          ref, r, identity,
+          std::string("bitsliced/") + std::string(evalModeName(mode)),
+          report);
     }
   }
 

@@ -1,17 +1,18 @@
 // Differential oracle: runs one (design, plan) pair through every fault-sim
 // engine x evaluation-mode combination and asserts bit-identical verdicts.
 //
-//   serial   x {event-driven, full-settle}   the reference engine
-//   threaded x {event-driven, full-settle}   checkpoint-forking worker pool
-//   parallel x {event-driven, full-settle}   64-lane BitSim, stuck-at subset
+//   serial    x {event-driven, full-settle}   the reference engine
+//   threaded  x {event-driven, full-settle}   checkpoint-forking worker pool
+//   bitsliced x {event-driven, full-settle}   SIMD word-lane divergence engine
 //
 // The serial/event-driven run is the reference; every other combo must match
-// it fault-for-fault on outcomes and on the detected tally.  The parallel
-// engine only supports stuck-at faults on memory-free designs, so it runs on
-// that subset (and its verdicts are compared at the matching indices).  Two
-// extra properties ride along: the golden traces of both eval modes must be
-// identical, and the design must survive a text round-trip — parse(write(nl))
-// re-simulated under the rebound plan must reproduce the reference verdicts.
+// it fault-for-fault on outcomes and on the detected tally.  The bit-sliced
+// engine covers the FULL fault model (stuck-at, transients, bridges, delay,
+// memory faults), so it runs the whole plan fault list like the other
+// engines.  Two extra properties ride along: the golden traces of both eval
+// modes must be identical, and the design must survive a text round-trip —
+// parse(write(nl)) re-simulated under the rebound plan must reproduce the
+// reference verdicts.
 #pragma once
 
 #include <string>
@@ -32,7 +33,7 @@ namespace socfmea::testkit {
 /// Because only real detections flip, a failing case needs a live cone from
 /// a fault site to an observed output, so the shrinker must preserve one.
 struct Sabotage {
-  enum class Engine : std::uint8_t { None, Serial, Threaded, Parallel };
+  enum class Engine : std::uint8_t { None, Serial, Threaded, Bitsliced };
   Engine engine = Engine::None;
   sim::EvalMode mode = sim::EvalMode::FullSettle;
   std::uint64_t stride = 1;  ///< downgrade every stride-th detection
@@ -44,9 +45,8 @@ struct Sabotage {
 struct OracleOptions {
   /// Worker count for the threaded engine (0 = hardware concurrency).
   unsigned threads = 0;
-  /// Run the bit-parallel engine on the plan's stuck-at subset (skipped
-  /// automatically for designs with memories).
-  bool runParallel = true;
+  /// Run the bit-sliced fault-parallel engine on the full plan fault list.
+  bool runBitsliced = true;
   /// Check parse(write(nl)) by re-running the reference engine on the
   /// reparsed design with the plan rebound by name.
   bool roundTrip = true;

@@ -1,11 +1,12 @@
 // Tests for the fault-simulation engines: toggle coverage with structural
-// constant screening, the serial engine, the 64-lane parallel engine, and
-// the serial-vs-parallel agreement property.
+// constant screening, the serial engine, and the serial-vs-bitsliced
+// agreement property (the deep bit-sliced suite lives in
+// test_bitsliced.cpp).
 #include <gtest/gtest.h>
 
 #include "fault/collapse.hpp"
 #include "fault/fault_list.hpp"
-#include "faultsim/parallel.hpp"
+#include "faultsim/bitsliced.hpp"
 #include "faultsim/serial.hpp"
 #include "faultsim/toggle.hpp"
 #include "inject/workload.hpp"
@@ -189,89 +190,40 @@ TEST(SerialFaultSimTest, EarlyAbortReducesCycles) {
 }
 
 // ---------------------------------------------------------------------------
-// parallel engine
+// bit-sliced engine dispatch
 // ---------------------------------------------------------------------------
 
-TEST(BitSimTest, MatchesScalarSimulator) {
+TEST(EngineDispatchTest, BitslicedEngineSelectedThroughRunFaultSim) {
   DataPath d;
-  fs::BitSim bs(d.n);
-  sm::Simulator ref(d.n);
-  sm::Rng rng(13);
-  ref.setInput(d.rst, sm::Logic::L0);
-  bs.setInputAll(d.rst, false);
-  for (int c = 0; c < 30; ++c) {
-    const std::uint64_t va = rng.below(256);
-    const std::uint64_t vb = rng.below(256);
-    ref.setInputBus(d.a, va);
-    ref.setInputBus(d.b, vb);
-    for (int i = 0; i < 8; ++i) {
-      bs.setInputAll(d.a[i], (va >> i) & 1);
-      bs.setInputAll(d.b[i], (vb >> i) & 1);
-    }
-    ref.evalComb();
-    bs.evalComb();
-    for (nl::NetId qn : d.q) {
-      const bool scalar = ref.value(qn) == sm::Logic::L1;
-      const bool lane0 = bs.netWord(qn) & 1u;
-      EXPECT_EQ(scalar, lane0) << "cycle " << c;
-    }
-    ref.clockEdge();
-    bs.clockEdge();
-  }
+  ij::RandomWorkload wl(d.n, 100, 7, {{d.rst, false}});
+  ft::FaultList faults = ft::allStuckAtFaults(d.n);
+  ft::collapseStuckAt(d.n, faults);
+  const auto serial = fs::runSerialFaultSim(d.n, wl, faults);
+  fs::FaultSimOptions opt;
+  opt.engine = fs::EngineKind::Bitsliced;
+  const auto sliced = fs::runBitslicedFaultSim(d.n, wl, faults, opt);
+  ASSERT_EQ(serial.outcomes.size(), sliced.outcomes.size());
+  EXPECT_EQ(serial.detected, sliced.detected);
 }
 
-TEST(BitSimTest, RejectsMemories) {
-  nl::Netlist n;
-  nl::Builder b(n);
-  const auto a = b.input("a");
-  const auto din = b.input("d");
-  const auto we = b.input("we");
-  const auto r = n.addNet("r");
-  nl::MemoryInst m;
-  m.name = "m";
-  m.addrBits = 1;
-  m.dataBits = 1;
-  m.addr = {a};
-  m.wdata = {din};
-  m.rdata = {r};
-  m.writeEnable = we;
-  n.addMemory(std::move(m));
-  b.output("o", r);
-  EXPECT_THROW(fs::BitSim bs(n), std::invalid_argument);
-}
-
-TEST(ParallelFaultSimTest, RejectsNonStuckFaults) {
-  DataPath d;
-  ij::RandomWorkload wl(d.n, 20, 1, {{d.rst, false}});
-  const auto stim = fs::recordStimulus(d.n, wl);
-  ft::FaultList faults;
-  ft::Fault f;
-  f.kind = ft::FaultKind::SeuFlip;
-  f.cell = d.n.flipFlops().front();
-  faults.push_back(f);
-  EXPECT_THROW((void)fs::runParallelFaultSim(d.n, stim, faults),
-               std::invalid_argument);
-}
-
-// The headline property: parallel and serial engines agree on every fault.
+// The headline property: bit-sliced and serial engines agree on every fault.
 class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(EngineAgreement, SerialAndParallelVerdictsMatch) {
+TEST_P(EngineAgreement, SerialAndBitslicedVerdictsMatch) {
   DataPath d;
   ij::RandomWorkload wl(d.n, 120, GetParam(), {{d.rst, false}});
   ft::FaultList faults = ft::allStuckAtFaults(d.n);
   ft::collapseStuckAt(d.n, faults);
 
   const auto serial = fs::runSerialFaultSim(d.n, wl, faults);
-  const auto stim = fs::recordStimulus(d.n, wl);
-  const auto parallel = fs::runParallelFaultSim(d.n, stim, faults);
+  const auto sliced = fs::runBitslicedFaultSim(d.n, wl, faults);
 
-  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  ASSERT_EQ(serial.outcomes.size(), sliced.outcomes.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    EXPECT_EQ(serial.outcomes[i], parallel.outcomes[i])
+    EXPECT_EQ(serial.outcomes[i], sliced.outcomes[i])
         << faults[i].describe(d.n);
   }
-  EXPECT_EQ(serial.detected, parallel.detected);
+  EXPECT_EQ(serial.detected, sliced.detected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,

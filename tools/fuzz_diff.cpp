@@ -4,7 +4,7 @@
 //             [--sabotage <engine>/<mode>] [--quiet]
 //     Generates N random (design, stimulus, fault-plan) cases from the
 //     campaign seed S and runs each through the differential oracle: the
-//     serial, threaded and bit-parallel fault-sim engines under both
+//     serial, threaded and bit-sliced fault-sim engines under both
 //     event-driven and full-settle evaluation must agree fault-for-fault,
 //     the golden traces of both modes must match, and the design must
 //     survive a .snl round-trip.  On a failure the case number and seed are
@@ -70,10 +70,10 @@ testkit::Sabotage parseSabotage(const std::string& spec) {
     s.engine = testkit::Sabotage::Engine::Serial;
   } else if (engine == "threaded") {
     s.engine = testkit::Sabotage::Engine::Threaded;
-  } else if (engine == "parallel") {
-    s.engine = testkit::Sabotage::Engine::Parallel;
+  } else if (engine == "bitsliced") {
+    s.engine = testkit::Sabotage::Engine::Bitsliced;
   } else {
-    usage("unknown sabotage engine (serial|threaded|parallel)");
+    usage("unknown sabotage engine (serial|threaded|bitsliced)");
   }
   if (mode == "event-driven") {
     s.mode = sim::EvalMode::EventDriven;
