@@ -1,0 +1,192 @@
+// Experiment DISTRIBUTED: wall time of the zone-failure campaign sharded
+// over worker processes — the serial in-process oracle vs 1, 2 and 4
+// workers on the frmem v2 protection IP.  Verdict identity is checked
+// before any timing is reported: every sharded run's name-based record
+// artifact must equal the serial oracle's byte for byte (the merge rides
+// the delta engine, so this is the coordinator's core contract).  The
+// headline numbers land in BENCH_distributed.json; the CI `distributed`
+// job gates on `identical` always and on `speedup_4 >= 2` when the host
+// has >= 4 cores (a single-core host cannot express process parallelism,
+// so `cores` is recorded alongside the timings).
+//
+// The binary doubles as its own shard executor: the coordinator re-execs
+// /proc/self/exe --serve-worker, which must short-circuit before google-
+// benchmark touches argv.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/fault_list.hpp"
+#include "inject/delta.hpp"
+#include "inject/env_builder.hpp"
+#include "inject/manager.hpp"
+#include "inject/profile.hpp"
+#include "netlist/compiled.hpp"
+#include "netlist/hash.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/job.hpp"
+#include "serve/shard.hpp"
+#include "serve/worker.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+constexpr std::uint64_t kCycles = 2000;
+constexpr std::uint64_t kEnvSeed = 7;
+constexpr std::uint64_t kWindow = 24;
+constexpr std::size_t kMemFaultsPerKind = 48;
+
+/// The campaign under test: the incremental flow's zone-failure fault list
+/// (per-bit quota plus the weighted memory-array sample) on frmem v2.
+struct Campaign {
+  inject::InjectionEnvironment env;
+  inject::InjectionManager mgr;
+  fault::FaultList faults;
+  netlist::CompiledDesignPtr cd;
+  obs::Json job;
+
+  Campaign(const memsys::GateLevelDesign& d, core::FmeaFlow& flow,
+           sim::Workload& wl)
+      : env(inject::EnvironmentBuilder(flow.zones(), flow.effects())
+                .withSeed(kEnvSeed)
+                .withDetectionWindow(kWindow)
+                .build()),
+        mgr(d.nl, env) {
+    const auto profile = inject::OperationalProfile::record(flow.zones(), wl);
+    faults = mgr.zoneFailureFaults(profile, /*perBit=*/1, /*seed=*/7);
+    for (netlist::MemoryId m = 0; m < d.nl.memoryCount(); ++m) {
+      sim::Rng rng(netlist::hashMix(0x5EED, netlist::hashString(
+                                                d.nl.memory(m).name)));
+      fault::append(faults,
+                    fault::memoryFaults(d.nl, m, kMemFaultsPerKind, rng));
+    }
+    cd = flow.zones().compiledShared();
+    if (!cd) cd = netlist::compile(d.nl);
+    job = serve::makeCampaignJob(
+        d.nl, flow.zones(), flow.config().alarmNames, kEnvSeed, kWindow, {},
+        serve::protectionIpDesignSpec("v2"),
+        serve::protectionIpWorkloadSpec(kCycles));
+  }
+};
+
+struct Timed {
+  double seconds = 0.0;
+  std::string artifact;  ///< compact campaignRecordsToJson dump
+  serve::DistributedStats stats;
+};
+
+double now(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void printTable() {
+  benchutil::banner("DISTRIBUTED",
+                    "sharded multi-process campaign vs the serial oracle");
+  auto& f = benchutil::frmem();
+  const auto wopt = benchutil::workloadOptions(kCycles);
+  memsys::ProtectionIpWorkload wl(f.v2, wopt);
+  Campaign c(f.v2, f.flowV2, wl);
+  std::cout << "campaign: " << c.faults.size() << " faults, " << kCycles
+            << " cycles, " << serve::planShards(c.faults, 4).chunks.size()
+            << " chunks at 4 workers\n\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const inject::CampaignResult serial = c.mgr.run(wl, c.faults, nullptr);
+  Timed ref;
+  ref.seconds = now(t0);
+  ref.artifact = inject::campaignRecordsToJson(f.v2.nl, f.flowV2.zones(),
+                                               f.flowV2.effects(), serial)
+                     .dump(0);
+
+  bool identical = true;
+  std::vector<std::pair<unsigned, Timed>> runs;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    serve::DistributedOptions dopt;
+    dopt.workers = workers;
+    Timed t;
+    const auto w0 = std::chrono::steady_clock::now();
+    const inject::CampaignResult sharded = serve::runShardedCampaign(
+        c.mgr, wl, c.faults, *c.cd, c.job, dopt, /*revalidateFraction=*/0.02,
+        /*revalidateSeed=*/0x5EEDCAFE, nullptr, {}, nullptr, &t.stats);
+    t.seconds = now(w0);
+    t.artifact = inject::campaignRecordsToJson(f.v2.nl, f.flowV2.zones(),
+                                               f.flowV2.effects(), sharded)
+                     .dump(0);
+    identical = identical && t.artifact == ref.artifact;
+    runs.emplace_back(workers, std::move(t));
+  }
+
+  std::cout << "engine      |  wall s | speedup | chunks | lost | verdicts\n";
+  std::printf("%-11s | %7.2f | %7s | %6s | %4s | %s\n", "serial", ref.seconds,
+              "1.00x", "-", "-", "reference");
+  double speedup4 = 0.0;
+  for (const auto& [workers, t] : runs) {
+    const double speedup = ref.seconds / t.seconds;
+    if (workers == 4) speedup4 = speedup;
+    std::printf("%u workers   | %7.2f | %6.2fx | %6zu | %4u | %s\n", workers,
+                t.seconds, speedup, t.stats.chunksTotal, t.stats.workersLost,
+                t.artifact == ref.artifact ? "identical" : "** MISMATCH **");
+  }
+  std::cout << "\nverdict identity across every worker count: "
+            << (identical ? "IDENTICAL" : "** MISMATCH **") << "\n\n";
+
+  benchutil::JsonDump dump("BENCH_distributed.json");
+  dump.field("design", "frmem-v2")
+      .field("cores",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .field("workload_cycles", kCycles)
+      .field("faults_total", static_cast<std::uint64_t>(c.faults.size()))
+      .field("identical", identical)
+      .field("serial_wall_s", ref.seconds);
+  for (const auto& [workers, t] : runs) {
+    const std::string prefix = "workers_" + std::to_string(workers);
+    dump.field(prefix + "_wall_s", t.seconds)
+        .field(prefix + "_speedup", ref.seconds / t.seconds)
+        .field(prefix + "_chunks",
+               static_cast<std::uint64_t>(t.stats.chunksTotal))
+        .field(prefix + "_lost",
+               static_cast<std::uint64_t>(t.stats.workersLost));
+  }
+  dump.field("speedup_4", speedup4);
+  dump.write();
+}
+
+void BM_ShardPlan(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  const auto wopt = benchutil::workloadOptions(kCycles);
+  memsys::ProtectionIpWorkload wl(f.v2, wopt);
+  Campaign c(f.v2, f.flowV2, wl);
+  for (auto _ : state) {
+    const auto plan =
+        serve::planShards(c.faults, static_cast<unsigned>(state.range(0)));
+    benchmark::DoNotOptimize(plan.chunks.size());
+  }
+}
+BENCHMARK(BM_ShardPlan)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_CampaignJobSpec(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  for (auto _ : state) {
+    const obs::Json job = serve::makeCampaignJob(
+        f.v2.nl, f.flowV2.zones(), f.flowV2.config().alarmNames, kEnvSeed,
+        kWindow, {}, serve::protectionIpDesignSpec("v2"),
+        serve::protectionIpWorkloadSpec(kCycles));
+    benchmark::DoNotOptimize(job.dump(0).size());
+  }
+}
+BENCHMARK(BM_CampaignJobSpec)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Shard-executor re-entry: must run before benchmark::Initialize.
+  if (argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0) {
+    return serve::workerMain();
+  }
+  return benchutil::runBench(argc, argv, printTable);
+}

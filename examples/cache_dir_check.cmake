@@ -1,0 +1,30 @@
+# Drives a flow tool with two unusable --cache-dir paths and asserts the
+# startup probe fails fast: non-zero exit plus a clear diagnostic on stderr
+# (instead of a crash deep inside the campaign when the first artifact
+# save fails).
+#
+#   cmake -DTOOL=<flow binary> -DWORK=<scratch dir> -P cache_dir_check.cmake
+
+file(WRITE "${WORK}/cache-dir-occupied" "a regular file, not a directory")
+
+function(expect_rejects path)
+  execute_process(COMMAND "${TOOL}" --cache-dir "${path}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} accepted unusable --cache-dir ${path}")
+  endif()
+  if(NOT err MATCHES "cache")
+    message(FATAL_ERROR
+            "${TOOL} --cache-dir ${path}: no clear diagnostic on stderr "
+            "(got: '${err}')")
+  endif()
+endfunction()
+
+# The parent path component does not exist at all.
+expect_rejects("/no-such-parent-anywhere/store")
+# The parent path component is a regular file.
+expect_rejects("${WORK}/cache-dir-occupied/store")
+
+message(STATUS "both unusable --cache-dir paths rejected with a diagnostic")

@@ -9,28 +9,57 @@
 //   5. collect coverage, classify outcomes, and cross-check the FMEA.
 #include <iostream>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
+#include "core/artifact_store.hpp"
 #include "core/frmem_config.hpp"
 #include "fault/fault_list.hpp"
 #include "inject/analyzer.hpp"
+#include "inject/delta.hpp"
 #include "memsys/workloads.hpp"
+#include "netlist/compiled.hpp"
+#include "netlist/hash.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/job.hpp"
+#include "serve/worker.hpp"
 
 using namespace socfmea;
 
 int main(int argc, char** argv) {
+  // Worker re-exec entry for --workers N (must run before flag parsing).
+  if (argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0) {
+    return serve::workerMain();
+  }
+
   // --json <path>: dump the campaign (fault-list shaping, outcome metrics,
   // coverage completeness, FMEA cross-check) as one JSON document.
   const char* jsonPath = nullptr;
+  const char* cacheDir = nullptr;
+  unsigned workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cacheDir = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--json <path>] [--cache-dir <dir>] [--workers N]\n";
       return 2;
     }
+  }
+  std::unique_ptr<core::ArtifactStore> store;
+  if (cacheDir != nullptr) {
+    if (const auto reason = core::ArtifactStore::validateDir(cacheDir)) {
+      std::cerr << "--cache-dir: " << *reason << "\n";
+      return 2;
+    }
+    store = std::make_unique<core::ArtifactStore>(cacheDir);
   }
 
   // The DUT: the v2 protection IP at gate level.
@@ -74,11 +103,64 @@ int main(int argc, char** argv) {
       flow.zones(), profile, candidates, 160, 42);
   std::cout << "randomised campaign list: " << faults.size() << " faults\n\n";
 
-  // 4. The campaign.
+  // 4. The campaign: store hit when --cache-dir already holds this exact
+  //    walkthrough, sharded over worker processes with --workers N, the
+  //    plain in-process run otherwise.  All three paths yield bit-identical
+  //    records (the distributed merge goes through the delta engine).
   inject::InjectionManager manager(dut.nl, env);
   inject::CoverageCollector coverage(manager.environment());
-  const inject::CampaignResult result =
-      manager.run(workload, faults, &coverage);
+  inject::CampaignResult result;
+  serve::DistributedStats dstats;
+  bool distributed = false;
+  bool storeHit = false;
+  const std::uint64_t campKey =
+      netlist::hashMix(netlist::hashNetlist(dut.nl),
+                       netlist::hashMix(faults.size(), wopt.cycles));
+  if (store) {
+    if (const auto art = store->load("walkthrough-campaign", campKey)) {
+      const auto cache = inject::CachedCampaign::fromJson(*art);
+      if (auto records = inject::bindCampaignRecords(
+              cache, dut.nl, faults, flow.zones(), flow.effects())) {
+        result.records = std::move(*records);
+        for (const inject::InjectionRecord& rec : result.records) {
+          coverage.account(rec.obs);
+        }
+        storeHit = true;
+      }
+    }
+  }
+  if (!storeHit && workers > 1) {
+    netlist::CompiledDesignPtr cd = flow.zones().compiledShared();
+    if (!cd) cd = netlist::compile(dut.nl);
+    const obs::Json job = serve::makeCampaignJob(
+        dut.nl, flow.zones(), flow.config().alarmNames, /*envSeed=*/42,
+        /*detectionWindow=*/24, {}, serve::protectionIpDesignSpec("v2"),
+        serve::protectionIpWorkloadSpec(wopt.cycles));
+    serve::DistributedOptions dopt;
+    dopt.workers = workers;
+    result = serve::runShardedCampaign(manager, workload, faults, *cd, job,
+                                       dopt, /*revalidateFraction=*/0.02,
+                                       /*revalidateSeed=*/0x5EEDCAFE,
+                                       &coverage, {}, nullptr, &dstats);
+    distributed = true;
+  } else if (!storeHit) {
+    result = manager.run(workload, faults, &coverage);
+  }
+  if (store && !storeHit) {
+    store->save("walkthrough-campaign", campKey,
+                inject::campaignRecordsToJson(dut.nl, flow.zones(),
+                                              flow.effects(), result));
+  }
+  if (storeHit) {
+    std::cout << "campaign served from " << store->dir().string()
+              << " (full store hit)\n";
+  }
+  if (distributed) {
+    std::cout << "distributed: " << dstats.workersSpawned << " workers, "
+              << dstats.chunksTotal << " chunks (" << dstats.chunksRequeued
+              << " requeued, " << dstats.workersLost << " workers lost, "
+              << dstats.faultsFallback << " faults run locally)\n";
+  }
   inject::printCampaign(std::cout, result);
   std::cout << "\n";
   coverage.print(std::cout, flow.zones());

@@ -29,6 +29,8 @@
 #include "memsys/workloads.hpp"
 #include "netlist/hash.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/job.hpp"
+#include "serve/worker.hpp"
 
 using namespace socfmea;
 
@@ -37,7 +39,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json <path>] [--cache-dir <dir>] [--edit <measure>]"
-               " [--max-resim <fraction>]\n"
+               " [--max-resim <fraction>] [--workers N]\n"
                "  --cache-dir  incremental mode: artifact store for the flow"
                " graph / delta campaign\n"
                "  --edit       v2 measure applied to the v1 baseline:"
@@ -45,29 +47,20 @@ int usage(const char* argv0) {
                "               redundant-checker | addr-in-code | v2"
                " (implies incremental mode)\n"
                "  --max-resim  fail (exit 3) when the campaign re-simulates"
-               " more than this fraction\n";
+               " more than this fraction\n"
+               "  --workers    shard a cold campaign over N worker processes"
+               " (implies incremental mode)\n";
   return 2;
-}
-
-/// Applies one Section-6 architectural iteration to the v1 baseline.
-bool applyEdit(const std::string& edit, memsys::GateLevelOptions& o) {
-  if (edit == "none") return true;
-  if (edit == "wbuf-parity") o.wbufParity = true;
-  else if (edit == "post-coder") o.postCoderChecker = true;
-  else if (edit == "redundant-checker") o.redundantChecker = true;
-  else if (edit == "addr-in-code") o.addressInCode = true;
-  else if (edit == "v2") o = memsys::GateLevelOptions::v2();
-  else return false;
-  return true;
 }
 
 /// Incremental mode: run the flow graph + delta campaign for the v1
 /// baseline with one architectural edit applied, reusing whatever the
 /// artifact store already holds from previous iterations.
 int runIncremental(const char* jsonPath, const char* cacheDir,
-                   const std::string& edit, double maxResim) {
+                   const std::string& edit, double maxResim,
+                   unsigned workers) {
   memsys::GateLevelOptions gopt = memsys::GateLevelOptions::v1();
-  if (!applyEdit(edit, gopt)) {
+  if (!serve::applyProtectionEdit(edit, gopt)) {
     std::cerr << "unknown --edit measure: " << edit << "\n";
     return 2;
   }
@@ -75,6 +68,10 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
 
   std::unique_ptr<core::ArtifactStore> store;
   if (cacheDir != nullptr) {
+    if (const auto reason = core::ArtifactStore::validateDir(cacheDir)) {
+      std::cerr << "--cache-dir: " << *reason << "\n";
+      return 2;
+    }
     store = std::make_unique<core::ArtifactStore>(cacheDir);
   }
   memsys::ProtectionIpWorkload::Options wopt;
@@ -87,6 +84,13 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
   // The array dominates the IP's FIT budget: weight it beyond the per-zone
   // quota with a deterministic per-kind sample (same keys on every variant).
   iopt.memFaultsPerKind = 48;
+  if (workers > 1) {
+    iopt.workers = workers;
+    iopt.designSpec = serve::protectionIpDesignSpec(edit);
+    iopt.workloadSpec = serve::protectionIpWorkloadSpec(
+        wopt.cycles, wopt.seed, wopt.resetCycles, wopt.exerciseBist,
+        wopt.exerciseMpu, wopt.plantEccErrors, wopt.pacing);
+  }
 
   core::IncrementalFlow inc(dut.nl, core::makeFrmemFlowConfig(dut), iopt);
   std::cout << "==== incremental flow: v1 + edit '" << edit << "' ====\n";
@@ -105,9 +109,20 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
             << camp.delta.reused << " reused, " << camp.delta.simulated
             << " re-simulated (" << fraction * 100.0 << " %), "
             << camp.delta.revalidated << " revalidated"
-            << (camp.fullHit ? " [full store hit]"
-                             : (camp.deltaRun ? " [delta run]" : " [cold]"))
+            << (camp.fullHit
+                    ? " [full store hit]"
+                    : (camp.deltaRun
+                           ? " [delta run]"
+                           : (camp.distributedRun ? " [distributed]"
+                                                  : " [cold]")))
             << "\n";
+  if (camp.distributedRun) {
+    std::cout << "distributed: " << camp.serveStats.workersSpawned
+              << " workers, " << camp.serveStats.chunksTotal << " chunks ("
+              << camp.serveStats.chunksRequeued << " requeued, "
+              << camp.serveStats.workersLost << " workers lost, "
+              << camp.serveStats.faultsFallback << " faults run locally)\n";
+  }
 
   if (jsonPath != nullptr) {
     obs::Json report = inc.report();
@@ -135,12 +150,19 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker re-exec entry for --workers N: the coordinator spawns
+  // /proc/self/exe with this flag, so it must short-circuit everything.
+  if (argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0) {
+    return serve::workerMain();
+  }
+
   // --json <path>: also emit the whole flow as one machine-readable report
   // (the document CI's metrics-gate diffs against the checked-in golden).
   const char* jsonPath = nullptr;
   const char* cacheDir = nullptr;
   const char* edit = nullptr;
   double maxResim = -1.0;
+  unsigned workers = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
@@ -155,6 +177,8 @@ int main(int argc, char** argv) {
         std::cerr << "--max-resim needs a non-negative fraction\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -162,8 +186,10 @@ int main(int argc, char** argv) {
 
   // Any of the iteration flags selects the incremental flow-graph mode; the
   // bare invocation below stays byte-identical for the CI metrics gate.
-  if (cacheDir != nullptr || edit != nullptr || maxResim >= 0.0) {
-    return runIncremental(jsonPath, cacheDir, edit ? edit : "none", maxResim);
+  if (cacheDir != nullptr || edit != nullptr || maxResim >= 0.0 ||
+      workers > 0) {
+    return runIncremental(jsonPath, cacheDir, edit ? edit : "none", maxResim,
+                          workers);
   }
 
   std::cout << "==== step 1: first implementation (v1) ====\n";

@@ -1,11 +1,38 @@
 #include "core/artifact_store.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 #include "netlist/hash.hpp"
 
 namespace socfmea::core {
+
+namespace {
+
+/// Temp-file suffix unique across processes AND within a process: two
+/// stores (or two processes) saving the same content hash concurrently must
+/// never write the same temp path, or one rename publishes the other's
+/// half-written file.  The rename itself is atomic, and equal keys imply
+/// equal content, so last-writer-wins is correct.
+std::string uniqueTmpSuffix() {
+  static std::atomic<std::uint64_t> counter{0};
+#ifdef _WIN32
+  const long long pid = _getpid();
+#else
+  const long long pid = ::getpid();
+#endif
+  return ".tmp." + std::to_string(pid) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 ArtifactStore::ArtifactStore(std::filesystem::path dir,
                              std::size_t lruCapacity)
@@ -29,11 +56,54 @@ void ArtifactStore::save(std::string_view stage, std::uint64_t key,
 }
 
 std::optional<obs::Json> ArtifactStore::loadHead(std::string_view name) {
-  return loadFile("head-" + std::string(name) + ".json");
+  // Heads are the store's one mutable slot; always re-read from disk so a
+  // sibling process's saveHead is visible (no LRU).
+  return loadFile("head-" + std::string(name) + ".json", /*useLru=*/false);
 }
 
 void ArtifactStore::saveHead(std::string_view name, const obs::Json& a) {
-  saveFile("head-" + std::string(name) + ".json", a);
+  saveFile("head-" + std::string(name) + ".json", a, /*useLru=*/false);
+}
+
+std::optional<std::string> ArtifactStore::validateDir(
+    const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(dir, ec);
+  if (fs::exists(st)) {
+    if (!fs::is_directory(st)) {
+      return "cache path exists but is not a directory: " + dir.string();
+    }
+    // Probe writability by creating (and removing) a file: permission bits
+    // alone lie for root and for exotic filesystems.
+    const fs::path probe = dir / (".probe" + uniqueTmpSuffix());
+    {
+      std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return "cache directory is not writable: " + dir.string();
+      }
+    }
+    fs::remove(probe, ec);
+    return std::nullopt;
+  }
+  // The store creates the leaf directory itself, but a missing or bogus
+  // parent is a configuration error worth naming precisely.
+  const fs::path parent =
+      dir.has_parent_path() ? dir.parent_path() : fs::path(".");
+  const fs::file_status pst = fs::status(parent, ec);
+  if (!fs::exists(pst)) {
+    return "cache directory parent does not exist: " + parent.string();
+  }
+  if (!fs::is_directory(pst)) {
+    return "cache directory parent is not a directory: " + parent.string();
+  }
+  std::error_code createEc;
+  fs::create_directories(dir, createEc);
+  if (createEc || !fs::is_directory(dir)) {
+    return "cannot create cache directory " + dir.string() +
+           (createEc ? ": " + createEc.message() : "");
+  }
+  return std::nullopt;
 }
 
 obs::Json ArtifactStore::statsJson() const {
@@ -45,12 +115,15 @@ obs::Json ArtifactStore::statsJson() const {
   return j;
 }
 
-std::optional<obs::Json> ArtifactStore::loadFile(const std::string& file) {
-  const auto it = lruIndex_.find(file);
-  if (it != lruIndex_.end()) {
-    ++stats_.memoryHits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+std::optional<obs::Json> ArtifactStore::loadFile(const std::string& file,
+                                                 bool useLru) {
+  if (useLru) {
+    const auto it = lruIndex_.find(file);
+    if (it != lruIndex_.end()) {
+      ++stats_.memoryHits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
   }
   std::ifstream in(dir_ / file, std::ios::binary);
   if (!in) {
@@ -62,7 +135,7 @@ std::optional<obs::Json> ArtifactStore::loadFile(const std::string& file) {
   try {
     obs::Json a = obs::Json::parse(text.str());
     ++stats_.diskHits;
-    touchLru(file, a);
+    if (useLru) touchLru(file, a);
     return a;
   } catch (const std::exception&) {
     ++stats_.misses;  // corrupt file: treated as a miss, recomputed over
@@ -70,8 +143,9 @@ std::optional<obs::Json> ArtifactStore::loadFile(const std::string& file) {
   }
 }
 
-void ArtifactStore::saveFile(const std::string& file, const obs::Json& a) {
-  const std::filesystem::path tmp = dir_ / (file + ".tmp");
+void ArtifactStore::saveFile(const std::string& file, const obs::Json& a,
+                             bool useLru) {
+  const std::filesystem::path tmp = dir_ / (file + uniqueTmpSuffix());
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -82,11 +156,13 @@ void ArtifactStore::saveFile(const std::string& file, const obs::Json& a) {
   std::error_code ec;
   std::filesystem::rename(tmp, dir_ / file, ec);
   if (ec) {
+    std::error_code rmEc;
+    std::filesystem::remove(tmp, rmEc);
     throw std::runtime_error("ArtifactStore: cannot finalize " +
                              (dir_ / file).string() + ": " + ec.message());
   }
   ++stats_.stores;
-  touchLru(file, a);
+  if (useLru) touchLru(file, a);
 }
 
 void ArtifactStore::touchLru(const std::string& file, const obs::Json& a) {

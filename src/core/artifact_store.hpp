@@ -26,6 +26,14 @@ class ArtifactStore {
   /// std::runtime_error when the directory cannot be created.
   explicit ArtifactStore(std::filesystem::path dir, std::size_t lruCapacity = 16);
 
+  /// Startup probe for tools taking --cache-dir from the command line:
+  /// non-empty human-readable reason when `dir` cannot serve as a store
+  /// (parent directory missing, path occupied by a regular file, directory
+  /// not writable), nullopt when a store opened there would work.  The
+  /// probe creates nothing.
+  [[nodiscard]] static std::optional<std::string> validateDir(
+      const std::filesystem::path& dir);
+
   [[nodiscard]] const std::filesystem::path& dir() const noexcept {
     return dir_;
   }
@@ -38,7 +46,10 @@ class ArtifactStore {
   /// Persists a stage artifact (atomic rename over any previous file).
   void save(std::string_view stage, std::uint64_t key, const obs::Json& a);
 
-  /// Mutable named slot (latest-run head state).
+  /// Mutable named slot (latest-run head state).  Heads deliberately bypass
+  /// the in-memory LRU: another process sharing the store directory (a
+  /// campaign server's workers, parallel CI jobs) may advance the slot
+  /// between calls, and a daemon must observe that, not a stale cache.
   [[nodiscard]] std::optional<obs::Json> loadHead(std::string_view name);
   void saveHead(std::string_view name, const obs::Json& a);
 
@@ -52,8 +63,10 @@ class ArtifactStore {
   [[nodiscard]] obs::Json statsJson() const;
 
  private:
-  [[nodiscard]] std::optional<obs::Json> loadFile(const std::string& file);
-  void saveFile(const std::string& file, const obs::Json& a);
+  [[nodiscard]] std::optional<obs::Json> loadFile(const std::string& file,
+                                                  bool useLru = true);
+  void saveFile(const std::string& file, const obs::Json& a,
+                bool useLru = true);
   void touchLru(const std::string& file, const obs::Json& a);
 
   std::filesystem::path dir_;

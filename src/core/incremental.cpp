@@ -9,6 +9,7 @@
 #include "netlist/hash.hpp"
 #include "netlist/text_format.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/job.hpp"
 
 namespace socfmea::core {
 
@@ -76,53 +77,6 @@ std::optional<std::uint64_t> parseHex(const obs::Json* j) {
     }
   }
   return v;
-}
-
-/// Binds every cached record in fault-list order; nullopt when any fault's
-/// key or reference fails to resolve (caller falls back to simulation).
-std::optional<std::vector<inject::InjectionRecord>> bindAll(
-    const inject::CachedCampaign& cache, const netlist::Netlist& nl,
-    const fault::FaultList& faults, const zones::ZoneDatabase& db,
-    const zones::EffectsModel& effects) {
-  std::vector<inject::InjectionRecord> out;
-  out.reserve(faults.size());
-  for (const fault::Fault& f : faults) {
-    const auto it = cache.byKey.find(fault::faultKey(nl, f));
-    if (it == cache.byKey.end()) return std::nullopt;
-    const inject::CachedRecord& c = it->second;
-    inject::InjectionRecord rec;
-    rec.fault = f;
-    rec.outcome = c.outcome;
-    if (!c.zone.empty()) {
-      const auto z = db.findZone(c.zone);
-      if (!z) return std::nullopt;
-      rec.zone = *z;
-    }
-    rec.obs.sens = c.sens;
-    rec.obs.sensCycle = c.sensCycle;
-    for (const std::string& name : c.zonesDeviated) {
-      const auto z = db.findZone(name);
-      if (!z) return std::nullopt;
-      rec.obs.zonesDeviated.push_back(*z);
-    }
-    rec.obs.obs = c.obsHit;
-    rec.obs.firstObsCycle = c.firstObsCycle;
-    for (const std::string& name : c.obsDeviated) {
-      std::optional<zones::ObsId> id;
-      for (const zones::ObservationPoint& p : effects.points()) {
-        if (p.name == name) {
-          id = p.id;
-          break;
-        }
-      }
-      if (!id) return std::nullopt;
-      rec.obs.obsDeviated.push_back(*id);
-    }
-    rec.obs.diag = c.diag;
-    rec.obs.diagCycle = c.diagCycle;
-    out.push_back(std::move(rec));
-  }
-  return out;
 }
 
 }  // namespace
@@ -243,7 +197,27 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
             }
           }
         }
-        if (!out.deltaRun) {
+        if (!out.deltaRun && opt_.workers > 1 && opt_.designSpec.isObject() &&
+            opt_.workloadSpec.isObject()) {
+          // Sharded cold run: worker processes rebuild the design from the
+          // job spec and stream verdicts back; the merge goes through the
+          // same delta/revalidation path as a head diff, so the artifact
+          // saved below is bit-identical to the in-process run's.
+          try {
+            const obs::Json job = serve::makeCampaignJob(
+                nl, db, flow_->config().alarmNames, seed, detectionWindow,
+                copt, opt_.designSpec, opt_.workloadSpec);
+            serve::DistributedOptions dopt = opt_.distributed;
+            dopt.workers = opt_.workers;
+            out.result = serve::runShardedCampaign(
+                mgr, wl, faults, *cd, job, dopt, opt_.revalidateFraction,
+                opt_.revalidateSeed, &cov, copt, &out.delta, &out.serveStats);
+            out.distributedRun = true;
+          } catch (const std::exception&) {
+            out.distributedRun = false;  // plumbing failure: cold below
+          }
+        }
+        if (!out.deltaRun && !out.distributedRun) {
           out.result = mgr.run(wl, faults, &cov, copt);
           out.delta.total = faults.size();
           out.delta.simulated = faults.size();
@@ -258,7 +232,8 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
   if (cached) {
     // Whole-campaign hit: every verdict comes from the store.
     const inject::CachedCampaign cache = inject::CachedCampaign::fromJson(art);
-    if (auto records = bindAll(cache, nl, faults, db, effects)) {
+    if (auto records =
+            inject::bindCampaignRecords(cache, nl, faults, db, effects)) {
       out.result = inject::CampaignResult{};
       out.result.records = std::move(*records);
       for (const inject::InjectionRecord& rec : out.result.records) {
@@ -313,6 +288,8 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
   obs::Json cj = obs::Json::object();
   cj["full_hit"] = out.fullHit;
   cj["delta_run"] = out.deltaRun;
+  cj["distributed_run"] = out.distributedRun;
+  if (out.distributedRun) cj["distributed"] = out.serveStats.toJson();
   cj["delta"] = out.delta.toJson();
   cj["coverage_completeness"] = cov.completeness();
   cj["campaign"] = out.result.toJson();

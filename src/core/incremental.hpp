@@ -14,6 +14,7 @@
 
 #include "core/flow.hpp"
 #include "inject/delta.hpp"
+#include "serve/coordinator.hpp"
 #include "sim/workload.hpp"
 
 namespace socfmea::core {
@@ -38,6 +39,19 @@ struct IncrementalOptions {
   /// architectural iterations.
   std::size_t memFaultsPerKind = 0;
   std::uint64_t memFaultSeed = 0x4D454Du;
+  /// Multi-process campaign execution (serve/coordinator.hpp): when
+  /// workers > 1 AND the job specs below are set, a campaign-stage miss
+  /// without a usable head delta is sharded over worker processes instead
+  /// of run cold in-process.  The merged result flows through the same
+  /// delta/revalidation machinery, so it stays bit-identical to the serial
+  /// oracle (and lands in the store under the same key).
+  unsigned workers = 1;
+  /// Worker-process tuning (workers above overrides distributed.workers).
+  serve::DistributedOptions distributed;
+  /// serve/job.hpp design + workload specs describing this flow's design
+  /// and stimulus; both must be objects for distribution to engage.
+  obs::Json designSpec;
+  obs::Json workloadSpec;
 };
 
 /// Outcome of one incremental campaign run.
@@ -46,6 +60,8 @@ struct IncrementalCampaign {
   inject::DeltaStats delta;
   bool fullHit = false;    ///< whole campaign loaded from the store
   bool deltaRun = false;   ///< head diff + cone reuse path taken
+  bool distributedRun = false;  ///< sharded over worker processes
+  serve::DistributedStats serveStats;
   std::size_t faultCount = 0;
 };
 

@@ -25,12 +25,20 @@ obs::Json nameArray(const std::vector<std::string>& names) {
   return arr;
 }
 
-/// Rebinds a cached record's zone / observation names onto the new design;
-/// nullopt when any reference no longer resolves (the fault is simulated).
-std::optional<InjectionRecord> bindRecord(const CachedRecord& c,
-                                          const fault::Fault& f,
-                                          const zones::ZoneDatabase& db,
-                                          const zones::EffectsModel& effects) {
+bool sameObservation(const InjectionObservation& a,
+                     const InjectionObservation& b) {
+  return a.sens == b.sens && a.sensCycle == b.sensCycle &&
+         a.zonesDeviated == b.zonesDeviated && a.obs == b.obs &&
+         a.firstObsCycle == b.firstObsCycle &&
+         a.obsDeviated == b.obsDeviated && a.diag == b.diag &&
+         a.diagCycle == b.diagCycle;
+}
+
+}  // namespace
+
+std::optional<InjectionRecord> bindCachedRecord(
+    const CachedRecord& c, const fault::Fault& f,
+    const zones::ZoneDatabase& db, const zones::EffectsModel& effects) {
   InjectionRecord rec;
   rec.fault = f;
   rec.outcome = c.outcome;
@@ -64,16 +72,22 @@ std::optional<InjectionRecord> bindRecord(const CachedRecord& c,
   return rec;
 }
 
-bool sameObservation(const InjectionObservation& a,
-                     const InjectionObservation& b) {
-  return a.sens == b.sens && a.sensCycle == b.sensCycle &&
-         a.zonesDeviated == b.zonesDeviated && a.obs == b.obs &&
-         a.firstObsCycle == b.firstObsCycle &&
-         a.obsDeviated == b.obsDeviated && a.diag == b.diag &&
-         a.diagCycle == b.diagCycle;
+std::optional<std::vector<InjectionRecord>> bindCampaignRecords(
+    const CachedCampaign& cache, const netlist::Netlist& nl,
+    const fault::FaultList& faults, const zones::ZoneDatabase& db,
+    const zones::EffectsModel& effects) {
+  std::vector<InjectionRecord> out;
+  out.reserve(faults.size());
+  for (const fault::Fault& f : faults) {
+    const auto it = cache.byKey.find(fault::faultKey(nl, f));
+    if (it == cache.byKey.end()) return std::nullopt;
+    std::optional<InjectionRecord> rec =
+        bindCachedRecord(it->second, f, db, effects);
+    if (!rec) return std::nullopt;
+    out.push_back(std::move(*rec));
+  }
+  return out;
 }
-
-}  // namespace
 
 obs::Json campaignRecordsToJson(const netlist::Netlist& nl,
                                 const zones::ZoneDatabase& db,
@@ -216,7 +230,7 @@ CampaignResult runCampaignDelta(InjectionManager& mgr, sim::Workload& wl,
       const std::string key = fault::faultKey(nl, f);
       const auto it = cache.byKey.find(key);
       if (it != cache.byKey.end()) {
-        slot.bound = bindRecord(it->second, f, db, effects);
+        slot.bound = bindCachedRecord(it->second, f, db, effects);
         if (slot.bound) {
           // Deterministic per-fault draw, independent of the rest of the
           // list, so the sample is stable under fault-list growth.

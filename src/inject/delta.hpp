@@ -11,6 +11,7 @@
 // guarantee even against a corrupted store.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,21 @@ struct CachedCampaign {
 
   [[nodiscard]] static CachedCampaign fromJson(const obs::Json& j);
 };
+
+/// Rebinds one cached record's zone / observation names onto the (possibly
+/// edited) design; nullopt when any reference no longer resolves — the
+/// caller simulates the fault instead.
+[[nodiscard]] std::optional<InjectionRecord> bindCachedRecord(
+    const CachedRecord& c, const fault::Fault& f,
+    const zones::ZoneDatabase& db, const zones::EffectsModel& effects);
+
+/// Binds every fault's cached record in fault-list order; nullopt when any
+/// key is absent or any reference fails to rebind.  The whole-campaign
+/// store-hit path and the distributed merge both go through this.
+[[nodiscard]] std::optional<std::vector<InjectionRecord>> bindCampaignRecords(
+    const CachedCampaign& cache, const netlist::Netlist& nl,
+    const fault::FaultList& faults, const zones::ZoneDatabase& db,
+    const zones::EffectsModel& effects);
 
 struct DeltaStats {
   std::size_t total = 0;        ///< faults in the new list

@@ -1,0 +1,108 @@
+// Coordinator side of the distributed campaign layer: shards a fault list
+// over N worker processes and merges the streamed verdicts back into the
+// exact result the serial oracle would have produced.
+//
+// Fault-tolerance contract: chunks are dealt dynamically (a bounded number
+// outstanding per worker), a worker that closes its pipe or goes silent past
+// the heartbeat timeout is declared lost and its unacknowledged chunks are
+// requeued to the survivors, and when every worker is gone the remaining
+// faults run through the caller's local fallback — so the merged verdict map
+// is complete even after arbitrary worker crashes.  Duplicate verdicts (a
+// requeued chunk whose first owner had already answered) are harmless: every
+// engine is verdict-deterministic, so the overwrite is a no-op.
+//
+// Merge soundness (campaign form): worker records go through the SAME
+// artifact schema and rebinding path as PR 5's incremental cache
+// (inject::CachedCampaign + runCampaignDelta with an explicit all-false
+// affected cone), so record order, coverage accounting, the revalidation
+// sample and the mismatch fallback are the delta engine's — bit-identity
+// with the serial oracle follows from its CI-enforced guarantee rather than
+// from fresh merge code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "faultsim/serial.hpp"
+#include "inject/delta.hpp"
+#include "obs/json.hpp"
+
+namespace socfmea::serve {
+
+struct DistributedOptions {
+  /// Worker process count (0 behaves as 1).
+  unsigned workers = 2;
+  /// Faults per work chunk (0 = auto, about four chunks per worker).
+  std::size_t chunkFaults = 0;
+  /// Worker argv; empty = {"/proc/self/exe", "--serve-worker"} — every
+  /// flow tool that calls runDistributed handles that flag by exec'ing
+  /// into serve::workerMain.
+  std::vector<std::string> workerCmd;
+  /// A worker silent for longer than this (no heartbeat, verdict or hello)
+  /// is killed and its chunks requeued.
+  double timeoutSeconds = 120.0;
+  /// Chunks dealt to a worker before it acknowledges any (2 keeps a
+  /// worker's pipe primed without hiding load imbalance).
+  std::size_t maxOutstanding = 2;
+};
+
+struct DistributedStats {
+  unsigned workersSpawned = 0;
+  unsigned workersLost = 0;       ///< crashed, errored or timed out
+  std::size_t chunksTotal = 0;
+  std::size_t chunksRequeued = 0;
+  std::size_t verdictBatches = 0;
+  std::size_t faultsTotal = 0;
+  std::size_t faultsFallback = 0; ///< verdicts produced by the local fallback
+  double wallSeconds = 0.0;
+  /// First fatal problem a worker reported ("" when none) — the crash
+  /// post-mortem a requeue would otherwise hide.
+  std::string firstError;
+
+  [[nodiscard]] obs::Json toJson() const;
+};
+
+/// Produces verdict records locally for faults no worker answered (all
+/// workers lost).  Must return one record per input fault, carrying the
+/// same "key" member a worker's records would.
+using LocalFallback =
+    std::function<std::vector<obs::Json>(const fault::FaultList&)>;
+
+/// Runs `jobSpec` over `faults` across worker processes; returns the
+/// verdict record of every fault, indexed by its faultKey.  Exports
+/// serve.* telemetry and fills `stats` when non-null.  Throws
+/// std::runtime_error only when faults remain unanswered and no fallback
+/// was given.
+[[nodiscard]] std::unordered_map<std::string, obs::Json> runDistributed(
+    const netlist::Netlist& nl, const obs::Json& jobSpec,
+    const fault::FaultList& faults, const DistributedOptions& opt,
+    const LocalFallback& fallback = nullptr,
+    DistributedStats* stats = nullptr);
+
+/// Distributed injection campaign: shards `faults`, then merges the worker
+/// verdicts through inject::runCampaignDelta (all-false cone, so every key
+/// binds as a cache hit) — result is bit-identical to
+/// `mgr.run(wl, faults, cov, copt)`.  `job` must be a makeCampaignJob spec
+/// for the same design/zones/options; `revalidateFraction` of merged
+/// verdicts are re-simulated locally as the self-healing sample.
+[[nodiscard]] inject::CampaignResult runShardedCampaign(
+    inject::InjectionManager& mgr, sim::Workload& wl,
+    const fault::FaultList& faults, const netlist::CompiledDesign& cd,
+    const obs::Json& job, const DistributedOptions& opt,
+    double revalidateFraction, std::uint64_t revalidateSeed,
+    inject::CoverageCollector* cov, const inject::CampaignOptions& copt,
+    inject::DeltaStats* delta = nullptr, DistributedStats* stats = nullptr);
+
+/// Distributed serial-oracle fault simulation: shards `faults` under a
+/// makeFaultSimJob spec; outcome vector is parallel to `faults` and
+/// identical to runSerialFaultSim's.
+[[nodiscard]] std::vector<faultsim::FaultOutcome> runShardedFaultSim(
+    const netlist::Netlist& nl, const obs::Json& job,
+    const fault::FaultList& faults, const DistributedOptions& opt,
+    DistributedStats* stats = nullptr);
+
+}  // namespace socfmea::serve

@@ -1,0 +1,83 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace socfmea::serve {
+
+std::string packMessage(const obs::Json& m) {
+  std::string line = m.dump();
+  line.push_back('\n');
+  return line;
+}
+
+std::optional<obs::Json> parseMessage(std::string_view line) {
+  if (line.empty()) return std::nullopt;
+  try {
+    obs::Json m = obs::Json::parse(line);
+    const obs::Json* type = m.find("type");
+    if (type == nullptr || !type->isString()) return std::nullopt;
+    return m;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool writeMessage(int fd, const obs::Json& m) {
+  const std::string line = packMessage(m);
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t w = ::write(fd, data, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+LineReader::Status LineReader::poll(int fd, std::vector<std::string>& lines) {
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      buf_.append(buf, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buf_.find('\n', start);
+        if (nl == std::string::npos) break;
+        lines.push_back(buf_.substr(start, nl - start));
+        start = nl + 1;
+      }
+      if (start > 0) buf_.erase(0, start);
+      return Status::Data;
+    }
+    if (n == 0) return Status::Eof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::WouldBlock;
+    return Status::Eof;
+  }
+}
+
+std::string msgString(const obs::Json& m, std::string_view key,
+                      std::string_view def) {
+  const obs::Json* v = m.find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::string(def);
+}
+
+std::int64_t msgInt(const obs::Json& m, std::string_view key,
+                    std::int64_t def) {
+  const obs::Json* v = m.find(key);
+  return v != nullptr && v->isInt() ? v->asInt() : def;
+}
+
+bool msgBool(const obs::Json& m, std::string_view key, bool def) {
+  const obs::Json* v = m.find(key);
+  return v != nullptr && v->isBool() ? v->asBool() : def;
+}
+
+}  // namespace socfmea::serve

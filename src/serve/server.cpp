@@ -1,0 +1,151 @@
+#include "serve/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/artifact_store.hpp"
+#include "core/frmem_config.hpp"
+#include "core/incremental.hpp"
+#include "fmea/iec61508.hpp"
+#include "memsys/workloads.hpp"
+#include "netlist/hash.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+
+namespace socfmea::serve {
+
+namespace {
+
+obs::Json errorResponse(const std::string& message) {
+  obs::Json j = obs::Json::object();
+  j["type"] = "error";
+  j["message"] = message;
+  return j;
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer(ServerOptions opt) : opt_(std::move(opt)) {
+  store_ = std::make_unique<core::ArtifactStore>(opt_.cacheDir);
+}
+
+CampaignServer::~CampaignServer() = default;
+
+obs::Json CampaignServer::submit(const obs::Json& req) {
+  const std::string edit = msgString(req, "edit", "none");
+  memsys::GateLevelOptions gopt;
+  if (!applyProtectionEdit(edit, gopt)) {
+    return errorResponse("unknown edit: " + edit);
+  }
+  const unsigned workers = static_cast<unsigned>(
+      msgInt(req, "workers", static_cast<std::int64_t>(opt_.defaultWorkers)));
+
+  const memsys::GateLevelDesign dut = memsys::buildProtectionIp(gopt);
+  memsys::ProtectionIpWorkload::Options wopt;
+  wopt.cycles = static_cast<std::uint64_t>(msgInt(req, "cycles", 2000));
+
+  core::IncrementalOptions iopt;
+  iopt.store = store_.get();
+  iopt.workloadTag =
+      netlist::hashMix(netlist::hashString("protection-ip-workload"),
+                       netlist::hashMix(wopt.cycles, wopt.seed));
+  iopt.memFaultsPerKind = static_cast<std::size_t>(
+      msgInt(req, "mem_faults_per_kind", 48));
+  iopt.workers = workers;
+  iopt.distributed.workerCmd = opt_.workerCmd;
+  iopt.designSpec = protectionIpDesignSpec(edit);
+  iopt.workloadSpec = protectionIpWorkloadSpec(
+      wopt.cycles, wopt.seed, wopt.resetCycles, wopt.exerciseBist,
+      wopt.exerciseMpu, wopt.plantEccErrors, wopt.pacing);
+
+  try {
+    core::IncrementalFlow inc(dut.nl, core::makeFrmemFlowConfig(dut), iopt);
+    memsys::ProtectionIpWorkload workload(dut, wopt);
+    const core::IncrementalCampaign camp = inc.runZoneFailureCampaign(
+        workload,
+        static_cast<std::size_t>(msgInt(req, "per_bit", 1)),
+        static_cast<std::uint64_t>(msgInt(req, "seed", 7)),
+        static_cast<std::uint64_t>(msgInt(req, "window", 24)));
+
+    JobRecord job;
+    job.id = static_cast<long long>(jobs_.size()) + 1;
+    job.edit = edit;
+    job.workers = workers;
+    job.report = inc.report();
+
+    obs::Json r = obs::Json::object();
+    r["type"] = "result";
+    r["job"] = job.id;
+    r["edit"] = edit;
+    r["workers"] = static_cast<long long>(workers);
+    r["sff"] = inc.flow().sff();
+    r["dc"] = inc.flow().dc();
+    r["sil"] = static_cast<int>(inc.flow().sil());
+    r["sil_name"] = std::string(fmea::silName(inc.flow().sil()));
+    r["fault_count"] = static_cast<long long>(camp.faultCount);
+    r["full_hit"] = camp.fullHit;
+    r["delta_run"] = camp.deltaRun;
+    r["distributed_run"] = camp.distributedRun;
+    if (camp.distributedRun) r["distributed"] = camp.serveStats.toJson();
+    r["delta"] = camp.delta.toJson();
+    r["store"] = store_->statsJson();
+    job.summary = r;
+    jobs_.push_back(std::move(job));
+    return r;
+  } catch (const std::exception& e) {
+    return errorResponse(std::string("campaign failed: ") + e.what());
+  }
+}
+
+obs::Json CampaignServer::handle(const obs::Json& req) {
+  const std::string type = msgString(req, "type");
+  if (type == "ping") {
+    obs::Json r = obs::Json::object();
+    r["type"] = "pong";
+    r["cache_dir"] = opt_.cacheDir.string();
+    r["jobs"] = static_cast<long long>(jobs_.size());
+    return r;
+  }
+  if (type == "submit") return submit(req);
+  if (type == "jobs") {
+    obs::Json r = obs::Json::object();
+    r["type"] = "jobs";
+    obs::Json list = obs::Json::array();
+    for (const JobRecord& j : jobs_) list.push_back(j.summary);
+    r["jobs"] = std::move(list);
+    return r;
+  }
+  if (type == "report") {
+    const std::int64_t id = msgInt(req, "job", -1);
+    if (id < 1 || static_cast<std::size_t>(id) > jobs_.size()) {
+      return errorResponse("no such job: " + std::to_string(id));
+    }
+    obs::Json r = obs::Json::object();
+    r["type"] = "report";
+    r["job"] = static_cast<long long>(id);
+    r["report"] = jobs_[static_cast<std::size_t>(id) - 1].report;
+    return r;
+  }
+  if (type == "shutdown") {
+    obs::Json r = obs::Json::object();
+    r["type"] = "bye";
+    return r;
+  }
+  return errorResponse("unknown request type: " + type);
+}
+
+int CampaignServer::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::optional<obs::Json> req = parseMessage(line);
+    const obs::Json resp =
+        req ? handle(*req) : errorResponse("malformed request line");
+    out << resp.dump() << "\n" << std::flush;
+    if (req && msgString(*req, "type") == "shutdown") return 0;
+  }
+  return 0;
+}
+
+}  // namespace socfmea::serve

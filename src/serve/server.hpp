@@ -1,0 +1,78 @@
+// Campaign-as-a-service: a persistent daemon wrapping the incremental flow
+// behind a line-delimited JSON request/response API (same framing as the
+// worker protocol).  The value over one-shot CLI runs is the shared warm
+// ArtifactStore: every submitted campaign lands in (and reuses) one
+// content-addressed cache directory, so re-submitting an architectural
+// iteration is a store hit and a one-edit resubmission rides the delta
+// path.  Requests are handled synchronously in arrival order — a client
+// waits for its verdict, and there is exactly one writer per store, which
+// keeps the daemon free of job-queue state that could desynchronize from
+// the store.
+//
+// Request / response vocabulary ("type" member):
+//   {"type":"ping"}                      -> {"type":"pong"}
+//   {"type":"submit","edit":E,...}       -> {"type":"result",...} | error
+//       optional: "workers" (shard the campaign over N worker processes),
+//       "cycles", "per_bit", "seed", "window", "mem_faults_per_kind",
+//       "json_indent"
+//   {"type":"jobs"}                      -> {"type":"jobs","jobs":[...]}
+//   {"type":"report","job":N}            -> {"type":"report",...} | error
+//   {"type":"shutdown"}                  -> {"type":"bye"} (loop exits)
+//   anything else                        -> {"type":"error","message":...}
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace socfmea::core {
+class ArtifactStore;
+}
+
+namespace socfmea::serve {
+
+struct ServerOptions {
+  /// Shared warm artifact store every submitted campaign reads and writes.
+  std::filesystem::path cacheDir;
+  /// Default worker-process count for submits that do not name one
+  /// (0/1 = run campaigns in-process).
+  unsigned defaultWorkers = 0;
+  /// Worker argv forwarded to the coordinator (empty = /proc/self/exe
+  /// --serve-worker).
+  std::vector<std::string> workerCmd;
+};
+
+class CampaignServer {
+ public:
+  /// Opens the store (throws like ArtifactStore on an unusable directory).
+  explicit CampaignServer(ServerOptions opt);
+  ~CampaignServer();
+
+  /// Handles one request document; always returns a response document.
+  [[nodiscard]] obs::Json handle(const obs::Json& req);
+
+  /// Request/response loop over line-delimited JSON streams; returns the
+  /// process exit code (0 on clean shutdown or input EOF).
+  int serve(std::istream& in, std::ostream& out);
+
+ private:
+  [[nodiscard]] obs::Json submit(const obs::Json& req);
+
+  struct JobRecord {
+    long long id = 0;
+    std::string edit;
+    unsigned workers = 0;
+    obs::Json summary;  ///< the "result" response (sans full report)
+    obs::Json report;   ///< full incremental report
+  };
+
+  ServerOptions opt_;
+  std::unique_ptr<core::ArtifactStore> store_;
+  std::vector<JobRecord> jobs_;
+};
+
+}  // namespace socfmea::serve

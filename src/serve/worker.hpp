@@ -1,0 +1,24 @@
+// Worker side of the distributed campaign protocol.  A worker process is a
+// stateless shard executor: it reads exactly one job message (rebuilding the
+// whole simulation context from the job spec, hash-verified against the
+// coordinator's design), then loops over work chunks — parse the chunk's
+// faults, run them through the requested engine, stream the verdict records
+// back — until a quit message or stdin EOF.  All recoverable trouble is
+// reported as an error message and a non-zero exit; the coordinator treats
+// either like a crash and requeues the worker's unacknowledged chunks.
+//
+// Test hooks (fault-tolerance drills, see tests/test_serve.cpp):
+//   SOCFMEA_SERVE_CRASH_WORKER="<index>:<n>"  worker <index> exits without
+//     replying when it receives its n-th work chunk (1-based).
+//   SOCFMEA_SERVE_HANG_WORKER="<index>"  worker <index> sleeps forever on
+//     its first work chunk (after the heartbeat), forcing the coordinator's
+//     timeout-kill path.
+#pragma once
+
+namespace socfmea::serve {
+
+/// Runs the worker protocol loop over a pipe pair (defaults: stdin/stdout).
+/// Returns the process exit code (0 = clean quit/EOF).
+int workerMain(int inFd = 0, int outFd = 1);
+
+}  // namespace socfmea::serve

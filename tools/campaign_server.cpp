@@ -1,0 +1,57 @@
+// Campaign-as-a-service daemon: accepts line-delimited JSON requests on
+// stdin and answers on stdout (serve/server.hpp documents the vocabulary),
+// running every submitted campaign against one shared warm artifact store.
+//
+//   campaign_server --cache-dir <dir> [--workers N]
+//
+// With --workers N, campaign-stage misses are sharded over N worker
+// processes (this binary re-exec'd with --serve-worker).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/artifact_store.hpp"
+#include "serve/server.hpp"
+#include "serve/worker.hpp"
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " --cache-dir <dir> [--workers N]\n"
+            << "  --cache-dir  shared artifact store every submitted"
+               " campaign reads and writes\n"
+            << "  --workers    shard campaigns over N worker processes"
+               " (default: in-process)\n";
+  return 2;
+}
+
+int main(int argc, char** argv) {
+  // Worker re-exec entry: must be checked before anything else so the
+  // coordinator's child never parses server flags.
+  if (argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0) {
+    return socfmea::serve::workerMain();
+  }
+
+  const char* cacheDir = nullptr;
+  unsigned workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cacheDir = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cacheDir == nullptr) return usage(argv[0]);
+  if (const auto reason =
+          socfmea::core::ArtifactStore::validateDir(cacheDir)) {
+    std::cerr << argv[0] << ": " << *reason << "\n";
+    return 2;
+  }
+
+  socfmea::serve::ServerOptions opt;
+  opt.cacheDir = cacheDir;
+  opt.defaultWorkers = workers;
+  socfmea::serve::CampaignServer server(std::move(opt));
+  return server.serve(std::cin, std::cout);
+}

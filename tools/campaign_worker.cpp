@@ -1,0 +1,7 @@
+// Standalone shard-executor binary: speaks the serve worker protocol on
+// stdin/stdout.  The flow tools normally re-exec themselves (via
+// /proc/self/exe --serve-worker), but tests and external coordinators need
+// a worker that is not also a whole flow CLI — this is it.
+#include "serve/worker.hpp"
+
+int main() { return socfmea::serve::workerMain(); }

@@ -1,7 +1,7 @@
 // fuzz_diff: the differential fuzzing driver.
 //
 //   fuzz_diff --seed <S> --runs <N> [--shrink] [--out <dir>] [--threads <T>]
-//             [--sabotage <engine>/<mode>] [--quiet]
+//             [--workers <W>] [--sabotage <engine>/<mode>] [--quiet]
 //     Generates N random (design, stimulus, fault-plan) cases from the
 //     campaign seed S and runs each through the differential oracle: the
 //     serial, threaded and bit-sliced fault-sim engines under both
@@ -16,6 +16,11 @@
 //     (e.g. --sabotage threaded/full-settle) to exercise the oracle and
 //     shrinker pipeline end to end.
 //
+//     --workers W adds the distributed multi-process engine to the oracle's
+//     combo set: every case is also sharded over W worker processes (this
+//     binary re-exec'd with --serve-worker) and the merged verdicts must
+//     match the serial reference fault-for-fault.
+//
 //   fuzz_diff --replay <design.nl> <plan.plan> [--threads <T>]
 //     Re-runs the oracle on a saved repro pair.
 //
@@ -24,10 +29,14 @@
 //   SOCFMEA_TEST_SEED overrides --seed (the same campaign-seed override the
 //   gtest suites honour).
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "serve/coordinator.hpp"
+#include "serve/job.hpp"
+#include "serve/worker.hpp"
 #include "testkit/netlist_gen.hpp"
 #include "testkit/oracle.hpp"
 #include "testkit/plan.hpp"
@@ -44,6 +53,7 @@ struct Args {
   bool shrink = false;
   bool quiet = false;
   unsigned threads = 0;
+  unsigned workers = 0;
   std::string outDir = ".";
   std::string replayNl;
   std::string replayPlan;
@@ -54,9 +64,10 @@ struct Args {
   if (msg) std::cerr << "fuzz_diff: " << msg << "\n";
   std::cerr
       << "usage: fuzz_diff --seed <S> --runs <N> [--shrink] [--out <dir>]\n"
-         "                 [--threads <T>] [--sabotage <engine>/<mode>]\n"
-         "                 [--quiet]\n"
-         "       fuzz_diff --replay <design.nl> <plan.plan> [--threads <T>]\n";
+         "                 [--threads <T>] [--workers <W>]\n"
+         "                 [--sabotage <engine>/<mode>] [--quiet]\n"
+         "       fuzz_diff --replay <design.nl> <plan.plan> [--threads <T>]\n"
+         "                 [--workers <W>]\n";
   std::exit(2);
 }
 
@@ -100,6 +111,9 @@ Args parseArgs(int argc, char** argv) {
     } else if (arg == "--threads") {
       a.threads =
           static_cast<unsigned>(std::strtoul(value(i).c_str(), nullptr, 0));
+    } else if (arg == "--workers") {
+      a.workers =
+          static_cast<unsigned>(std::strtoul(value(i).c_str(), nullptr, 0));
     } else if (arg == "--out") {
       a.outDir = value(i);
     } else if (arg == "--shrink") {
@@ -123,10 +137,38 @@ Args parseArgs(int argc, char** argv) {
   return a;
 }
 
+/// Adds the distributed multi-process engine as the oracle's extra combo:
+/// the plan's stimulus is carried to the workers as a vector-workload spec
+/// and the merged shard verdicts come back as one FaultSimResult.
+void wireDistributedCombo(unsigned workers, testkit::OracleOptions& opt) {
+  if (workers < 2) return;
+  opt.extraComboName = "distributed/" + std::to_string(workers) + "-workers";
+  opt.extraCombo = [workers](const netlist::Netlist& nl,
+                             const testkit::TestPlan& plan) {
+    const obs::Json wl =
+        serve::vectorWorkloadSpec(nl, plan.name, plan.inputs, plan.stimulus);
+    const obs::Json job =
+        serve::makeFaultSimJob(nl, wl, sim::EvalMode::EventDriven,
+                               /*earlyAbort=*/true);
+    serve::DistributedOptions dopt;
+    dopt.workers = workers;
+    const auto outcomes =
+        serve::runShardedFaultSim(nl, job, plan.faults, dopt);
+    faultsim::FaultSimResult r;
+    r.total = outcomes.size();
+    r.outcomes = outcomes;
+    for (const auto o : outcomes) {
+      if (o == faultsim::FaultOutcome::Detected) ++r.detected;
+    }
+    return r;
+  };
+}
+
 int replay(const Args& a) {
   testkit::OracleOptions opt;
   opt.threads = a.threads;
   opt.sabotage = a.sabotage;
+  wireDistributedCombo(a.workers, opt);
   try {
     const auto repro = testkit::loadRepro(a.replayNl, a.replayPlan);
     const auto report = testkit::runOracle(repro.design, repro.plan, opt);
@@ -142,6 +184,7 @@ int fuzz(const Args& a) {
   testkit::OracleOptions opt;
   opt.threads = a.threads;
   opt.sabotage = a.sabotage;
+  wireDistributedCombo(a.workers, opt);
   std::uint64_t failures = 0;
   for (std::uint64_t run = 0; run < a.runs; ++run) {
     const std::uint64_t caseSeed = testkit::derivedSeed(a.seed, run);
@@ -193,6 +236,11 @@ int fuzz(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker re-exec entry for --workers W (the coordinator spawns
+  // /proc/self/exe with this flag; it must bypass normal flag parsing).
+  if (argc >= 2 && std::strcmp(argv[1], "--serve-worker") == 0) {
+    return socfmea::serve::workerMain();
+  }
   const Args a = parseArgs(argc, argv);
   try {
     return a.replayNl.empty() ? fuzz(a) : replay(a);
