@@ -1,0 +1,228 @@
+// Experiment ABSTRACTION: the tiered campaign's fast tier vs the flat exact
+// walk on the memsys transient campaign.  Every combinational SET site of the
+// v2 protection IP is stamped at a handful of sampled workload epochs; the
+// SET→multi-SEU abstraction (fault/abstract.hpp) dedups those sources into
+// FF-frontier classes and the abstract sweep runs |classes| simulations
+// instead of |SETs| on the same bit-sliced engine.  The headline figures —
+// abstract-sweep speedup over the exact bitsliced baseline, escalation rate
+// and the full-audit agreement — land in BENCH_abstraction.json; CI gates the
+// sweep speedup (≥5x) and the agreement against the declared envelope.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fault/abstract.hpp"
+#include "faultsim/bitsliced.hpp"
+#include "inject/analyzer.hpp"
+#include "inject/tiered.hpp"
+
+using namespace socfmea;
+
+namespace {
+
+/// The declared accuracy envelope for the abstract tier on this campaign:
+/// the measured full-audit agreement must stay at or above it (CI gate).
+constexpr double kAccuracyEnvelope = 0.90;
+
+struct Setup {
+  inject::InjectionEnvironment env;
+  memsys::ProtectionIpWorkload wl;
+  fault::FaultList faults;
+
+  Setup(std::uint64_t cycles, std::initializer_list<std::uint64_t> epochs)
+      : env(inject::EnvironmentBuilder(benchutil::frmem().flowV2.zones(),
+                                       benchutil::frmem().flowV2.effects())
+                .withSeed(4)
+                .withDetectionWindow(24)
+                .build()),
+        wl(benchutil::frmem().v2, benchutil::workloadOptions(cycles)) {
+    // The transient campaign: every SET site, at every sampled epoch.  No
+    // random subsetting — the dedup ratio IS the experiment.
+    const fault::FaultList sets =
+        fault::allSetFaults(benchutil::frmem().v2.nl);
+    for (const std::uint64_t epoch : epochs) {
+      for (fault::Fault f : sets) {
+        f.cycle = epoch;
+        faults.push_back(f);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<netlist::NetId> observedNets() const {
+    std::vector<netlist::NetId> nets = env.obsNets;
+    nets.insert(nets.end(), env.alarmNets.begin(), env.alarmNets.end());
+    return nets;
+  }
+};
+
+double seconds(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool sameVerdict(const inject::InjectionRecord& a,
+                 const inject::InjectionRecord& b) {
+  return a.outcome == b.outcome && a.obs.diagCycle == b.obs.diagCycle;
+}
+
+void printTable() {
+  benchutil::banner("ABSTRACTION",
+                    "SET→multi-SEU abstract tier vs the flat exact campaign");
+  auto& f = benchutil::frmem();
+  Setup s(800, {97, 353, 641});
+  std::cout << "design frmem-v2 (" << f.v2.nl.cellCount() << " cells), "
+            << s.faults.size() << " SET sources over 3 epochs, "
+            << s.wl.cycles() << "-cycle workload\n\n";
+
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions copt;
+  copt.engine = faultsim::EngineKind::Bitsliced;
+
+  // Exact baseline: the flat bit-sliced walk over every SET source.
+  auto t0 = std::chrono::steady_clock::now();
+  const inject::CampaignResult exact = mgr.run(s.wl, s.faults, nullptr, copt);
+  const double exactWall = seconds(t0);
+
+  // The abstract sweep alone: plan (abstraction over the compiled CSR
+  // fanout) + one campaign over the deduplicated class list.  This is the
+  // cost a flow iteration pays per sweep, and the ≥5x CI gate.
+  fault::AbstractionOptions ao;
+  ao.observedNets = s.observedNets();
+  t0 = std::chrono::steady_clock::now();
+  const fault::AbstractionMap plan =
+      fault::abstractTransients(mgr.compiled(), s.faults, ao);
+  fault::FaultList classFaults;
+  classFaults.reserve(plan.classes.size());
+  for (const fault::AbstractClass& c : plan.classes) {
+    classFaults.push_back(c.fault);
+  }
+  const inject::CampaignResult sweep =
+      mgr.run(s.wl, classFaults, nullptr, copt);
+  const double sweepWall = seconds(t0);
+
+  // The full tiered run at the default audit fraction: sweep + escalation +
+  // merge — the wall time a user of --tier abstract actually sees.
+  inject::TierOptions topt;
+  topt.mode = inject::TierMode::Abstract;
+  t0 = std::chrono::steady_clock::now();
+  const inject::TieredResult tiered =
+      inject::runTieredCampaign(mgr, s.wl, s.faults, topt, nullptr, copt);
+  const double tieredWall = seconds(t0);
+
+  // Full audit: every accepted class re-runs its sources exactly, so the
+  // measured agreement covers the whole campaign and the merged records
+  // must equal the flat exact run except for the provable NoEffect
+  // shortcuts (the differential oracle from the test suite, at bench scale).
+  inject::TierOptions audit = topt;
+  audit.auditFraction = 1.0;
+  const inject::TieredResult audited =
+      inject::runTieredCampaign(mgr, s.wl, s.faults, audit, nullptr, copt);
+  std::vector<bool> shortcut(s.faults.size(), false);
+  for (const std::size_t i : plan.noEffect) shortcut[i] = true;
+  bool identical = audited.merged.records.size() == exact.records.size();
+  for (std::size_t i = 0; identical && i < exact.records.size(); ++i) {
+    if (!shortcut[i] &&
+        !sameVerdict(audited.merged.records[i], exact.records[i])) {
+      identical = false;
+    }
+  }
+  std::cout << "full-audit verdicts vs exact baseline: "
+            << (identical ? "IDENTICAL (modulo NoEffect shortcuts)"
+                          : "** MISMATCH **")
+            << "\n\n";
+
+  const double n = static_cast<double>(s.faults.size());
+  std::cout << "plan: " << plan.classes.size() << " abstract classes for "
+            << plan.setSources << " SET sources, " << plan.noEffect.size()
+            << " no-effect shortcuts, " << plan.escalated.size()
+            << " structural escalations\n";
+  std::cout << "tiered: escalation rate " << tiered.tiers.escalationRate()
+            << ", full-audit agreement " << audited.tiers.agreement() << "\n\n";
+
+  std::cout << "run                   |  wall s | faults/s | speedup\n";
+  const auto row = [&](const char* label, double wall) {
+    std::printf("%-21s | %7.2f | %8.1f | %6.2fx\n", label, wall, n / wall,
+                exactWall / wall);
+  };
+  row("exact bitsliced", exactWall);
+  row("abstract sweep", sweepWall);
+  row("tiered (5% audit)", tieredWall);
+
+  const auto sff = audited.sffInterval();
+  const auto ddf = audited.ddfInterval();
+  benchutil::JsonDump dump("BENCH_abstraction.json");
+  dump.field("design", "frmem-v2")
+      .field("campaign", "transient-set")
+      .field("workload_cycles", s.wl.cycles())
+      .field("source_faults", static_cast<std::uint64_t>(s.faults.size()))
+      .field("abstract_classes",
+             static_cast<std::uint64_t>(plan.classes.size()))
+      .field("no_effect_shortcuts",
+             static_cast<std::uint64_t>(plan.noEffect.size()))
+      .field("structural_escalations",
+             static_cast<std::uint64_t>(plan.escalated.size()))
+      .field("escalated_faults",
+             static_cast<std::uint64_t>(tiered.tiers.escalatedFaults))
+      .field("escalation_rate", tiered.tiers.escalationRate())
+      .field("exact_wall_s", exactWall)
+      .field("sweep_wall_s", sweepWall)
+      .field("abstract_sweep_speedup", exactWall / sweepWall)
+      .field("tiered_wall_s", tieredWall)
+      .field("tiered_speedup", exactWall / tieredWall)
+      .field("agreement", audited.tiers.agreement())
+      .field("accuracy_envelope", kAccuracyEnvelope)
+      .field("agreement_ok", audited.tiers.agreement() >= kAccuracyEnvelope)
+      .field("audit_identical", identical)
+      .field("sff_low", sff.first)
+      .field("sff_high", sff.second)
+      .field("ddf_low", ddf.first)
+      .field("ddf_high", ddf.second);
+  dump.write();
+}
+
+Setup& benchSetup() {
+  static Setup s(600, {113, 409});
+  return s;
+}
+
+void BM_ExactBitsliced(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions copt;
+  copt.engine = faultsim::EngineKind::Bitsliced;
+  for (auto _ : state) {
+    const auto res = mgr.run(s.wl, s.faults, nullptr, copt);
+    benchmark::DoNotOptimize(res.records.size());
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExactBitsliced)->Unit(benchmark::kMillisecond);
+
+void BM_TieredAbstract(benchmark::State& state) {
+  auto& f = benchutil::frmem();
+  Setup& s = benchSetup();
+  inject::InjectionManager mgr(f.v2.nl, s.env);
+  inject::CampaignOptions copt;
+  copt.engine = faultsim::EngineKind::Bitsliced;
+  inject::TierOptions topt;
+  topt.mode = inject::TierMode::Abstract;
+  for (auto _ : state) {
+    const auto res =
+        inject::runTieredCampaign(mgr, s.wl, s.faults, topt, nullptr, copt);
+    benchmark::DoNotOptimize(res.merged.records.size());
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(s.faults.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TieredAbstract)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchutil::runBench(argc, argv, printTable);
+}

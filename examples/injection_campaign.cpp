@@ -19,6 +19,7 @@
 #include "fault/fault_list.hpp"
 #include "inject/analyzer.hpp"
 #include "inject/delta.hpp"
+#include "inject/tiered.hpp"
 #include "memsys/workloads.hpp"
 #include "netlist/compiled.hpp"
 #include "netlist/hash.hpp"
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
   const char* jsonPath = nullptr;
   const char* cacheDir = nullptr;
   unsigned workers = 0;
+  inject::CampaignOptions copt;
+  inject::TierOptions topt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
@@ -47,12 +50,33 @@ int main(int argc, char** argv) {
       cacheDir = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      const auto k = serve::engineKindFromName(argv[++i]);
+      if (!k) {
+        std::cerr << "--engine: unknown engine '" << argv[i]
+                  << "' (serial | threaded | bitsliced | auto)\n";
+        return 2;
+      }
+      copt.engine = *k;
+    } else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
+      const auto m = inject::tierModeFromName(argv[++i]);
+      if (!m) {
+        std::cerr << "--tier: unknown tier '" << argv[i]
+                  << "' (abstract | exact | auto)\n";
+        return 2;
+      }
+      topt.mode = *m;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--json <path>] [--cache-dir <dir>] [--workers N]\n";
+                << " [--json <path>] [--cache-dir <dir>] [--workers N]"
+                   " [--engine <kind>] [--tier <mode>]\n"
+                   "  --engine  serial | threaded | bitsliced | auto\n"
+                   "  --tier    abstract | exact | auto (abstract ="
+                   " SET->multi-SEU sweep + exact escalation)\n";
       return 2;
     }
   }
+  const bool tiered = topt.mode != inject::TierMode::Exact;
   std::unique_ptr<core::ArtifactStore> store;
   if (cacheDir != nullptr) {
     if (const auto reason = core::ArtifactStore::validateDir(cacheDir)) {
@@ -111,12 +135,13 @@ int main(int argc, char** argv) {
   inject::CoverageCollector coverage(manager.environment());
   inject::CampaignResult result;
   serve::DistributedStats dstats;
+  obs::Json tiersJson = obs::Json::object();
   bool distributed = false;
   bool storeHit = false;
   const std::uint64_t campKey =
       netlist::hashMix(netlist::hashNetlist(dut.nl),
                        netlist::hashMix(faults.size(), wopt.cycles));
-  if (store) {
+  if (store && !tiered) {
     if (const auto art = store->load("walkthrough-campaign", campKey)) {
       const auto cache = inject::CachedCampaign::fromJson(*art);
       if (auto records = inject::bindCampaignRecords(
@@ -129,24 +154,39 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (!storeHit && workers > 1) {
+  if (!storeHit && tiered) {
+    // Tiered walkthrough: abstract sweep + escalation, merged per source
+    // fault.  The store / distributed paths stay exact-only here — the
+    // incremental flow (core/incremental.hpp) is the cached tiered entry.
+    const inject::TieredResult tr = inject::runTieredCampaign(
+        manager, workload, faults, topt, &coverage, copt);
+    result = tr.merged;
+    tiersJson = tr.tiersJson();
+    std::cout << "tiered (" << inject::tierModeName(topt.mode)
+              << "): " << tr.tiers.abstractClasses << " abstract classes for "
+              << tr.tiers.sourceFaults << " faults, "
+              << tr.tiers.noEffectShortcuts << " no-effect shortcuts, "
+              << tr.tiers.escalatedFaults
+              << " escalated to exact, measured agreement "
+              << tr.tiers.agreement() << "\n";
+  } else if (!storeHit && workers > 1) {
     netlist::CompiledDesignPtr cd = flow.zones().compiledShared();
     if (!cd) cd = netlist::compile(dut.nl);
     const obs::Json job = serve::makeCampaignJob(
         dut.nl, flow.zones(), flow.config().alarmNames, /*envSeed=*/42,
-        /*detectionWindow=*/24, {}, serve::protectionIpDesignSpec("v2"),
+        /*detectionWindow=*/24, copt, serve::protectionIpDesignSpec("v2"),
         serve::protectionIpWorkloadSpec(wopt.cycles));
     serve::DistributedOptions dopt;
     dopt.workers = workers;
     result = serve::runShardedCampaign(manager, workload, faults, *cd, job,
                                        dopt, /*revalidateFraction=*/0.02,
                                        /*revalidateSeed=*/0x5EEDCAFE,
-                                       &coverage, {}, nullptr, &dstats);
+                                       &coverage, copt, nullptr, &dstats);
     distributed = true;
   } else if (!storeHit) {
-    result = manager.run(workload, faults, &coverage);
+    result = manager.run(workload, faults, &coverage, copt);
   }
-  if (store && !storeHit) {
+  if (store && !storeHit && !tiered) {
     store->save("walkthrough-campaign", campKey,
                 inject::campaignRecordsToJson(dut.nl, flow.zones(),
                                               flow.effects(), result));
@@ -185,7 +225,9 @@ int main(int argc, char** argv) {
     fl["profile_dropped"] = obs::Json(dropped);
     fl["campaign_faults"] = obs::Json(faults.size());
     report["fault_list"] = std::move(fl);
-    report["campaign"] = result.toJson();
+    obs::Json campaignJson = result.toJson();
+    if (tiered) campaignJson["tiers"] = tiersJson;
+    report["campaign"] = std::move(campaignJson);
     report["coverage"] = coverage.toJson();
     obs::Json v = obs::Json::object();
     v["max_delta_s"] = obs::Json(validation.maxDeltaS);

@@ -39,7 +39,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--json <path>] [--cache-dir <dir>] [--edit <measure>]"
-               " [--max-resim <fraction>] [--workers N]\n"
+               " [--max-resim <fraction>] [--workers N]"
+               " [--engine <kind>] [--tier <mode>]\n"
                "  --cache-dir  incremental mode: artifact store for the flow"
                " graph / delta campaign\n"
                "  --edit       v2 measure applied to the v1 baseline:"
@@ -49,7 +50,13 @@ int usage(const char* argv0) {
                "  --max-resim  fail (exit 3) when the campaign re-simulates"
                " more than this fraction\n"
                "  --workers    shard a cold campaign over N worker processes"
-               " (implies incremental mode)\n";
+               " (implies incremental mode)\n"
+               "  --engine     campaign engine: serial | threaded | bitsliced"
+               " | auto (implies incremental mode)\n"
+               "  --tier       campaign tier: abstract | exact | auto —"
+               " abstract runs the SET->multi-SEU sweep\n"
+               "               with exact-resim escalation (implies"
+               " incremental mode)\n";
   return 2;
 }
 
@@ -57,8 +64,8 @@ int usage(const char* argv0) {
 /// baseline with one architectural edit applied, reusing whatever the
 /// artifact store already holds from previous iterations.
 int runIncremental(const char* jsonPath, const char* cacheDir,
-                   const std::string& edit, double maxResim,
-                   unsigned workers) {
+                   const std::string& edit, double maxResim, unsigned workers,
+                   faultsim::EngineKind engine, inject::TierMode tier) {
   memsys::GateLevelOptions gopt = memsys::GateLevelOptions::v1();
   if (!serve::applyProtectionEdit(edit, gopt)) {
     std::cerr << "unknown --edit measure: " << edit << "\n";
@@ -84,6 +91,7 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
   // The array dominates the IP's FIT budget: weight it beyond the per-zone
   // quota with a deterministic per-kind sample (same keys on every variant).
   iopt.memFaultsPerKind = 48;
+  iopt.tier.mode = tier;
   if (workers > 1) {
     iopt.workers = workers;
     iopt.designSpec = serve::protectionIpDesignSpec(edit);
@@ -97,9 +105,11 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
   std::cout << core::verdictLine(inc.flow()) << "\n";
 
   memsys::ProtectionIpWorkload workload(dut, wopt);
+  inject::CampaignOptions copt;
+  copt.engine = engine;
   const core::IncrementalCampaign camp =
       inc.runZoneFailureCampaign(workload, /*perBit=*/1, /*seed=*/7,
-                                 /*detectionWindow=*/24);
+                                 /*detectionWindow=*/24, copt);
   const double fraction =
       camp.delta.total == 0
           ? 0.0
@@ -113,9 +123,27 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
                     ? " [full store hit]"
                     : (camp.deltaRun
                            ? " [delta run]"
-                           : (camp.distributedRun ? " [distributed]"
-                                                  : " [cold]")))
+                           : (camp.distributedRun
+                                  ? " [distributed]"
+                                  : (camp.tieredRun ? " [tiered]"
+                                                    : " [cold]"))))
             << "\n";
+  if (camp.tieredRun) {
+    const auto ti = [&](const char* k) -> long long {
+      const obs::Json* v = camp.tiers.find(k);
+      return v != nullptr && v->isNumber()
+                 ? static_cast<long long>(v->asDouble())
+                 : 0;
+    };
+    const obs::Json* agree = camp.tiers.find("agreement");
+    std::cout << "tiers: " << ti("abstract_classes") << " abstract classes, "
+              << ti("no_effect_shortcuts") << " no-effect shortcuts, "
+              << ti("escalated_faults") << " faults escalated to exact, "
+              << "measured agreement "
+              << (agree != nullptr && agree->isNumber() ? agree->asDouble()
+                                                        : 1.0)
+              << "\n";
+  }
   if (camp.distributedRun) {
     std::cout << "distributed: " << camp.serveStats.workersSpawned
               << " workers, " << camp.serveStats.chunksTotal << " chunks ("
@@ -163,6 +191,9 @@ int main(int argc, char** argv) {
   const char* edit = nullptr;
   double maxResim = -1.0;
   unsigned workers = 0;
+  faultsim::EngineKind engine = faultsim::EngineKind::Auto;
+  inject::TierMode tier = inject::TierMode::Exact;
+  bool engineOrTierSet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
@@ -179,6 +210,24 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      const auto k = serve::engineKindFromName(argv[++i]);
+      if (!k) {
+        std::cerr << "--engine: unknown engine '" << argv[i]
+                  << "' (serial | threaded | bitsliced | auto)\n";
+        return 2;
+      }
+      engine = *k;
+      engineOrTierSet = true;
+    } else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
+      const auto m = inject::tierModeFromName(argv[++i]);
+      if (!m) {
+        std::cerr << "--tier: unknown tier '" << argv[i]
+                  << "' (abstract | exact | auto)\n";
+        return 2;
+      }
+      tier = *m;
+      engineOrTierSet = true;
     } else {
       return usage(argv[0]);
     }
@@ -187,9 +236,9 @@ int main(int argc, char** argv) {
   // Any of the iteration flags selects the incremental flow-graph mode; the
   // bare invocation below stays byte-identical for the CI metrics gate.
   if (cacheDir != nullptr || edit != nullptr || maxResim >= 0.0 ||
-      workers > 0) {
+      workers > 0 || engineOrTierSet) {
     return runIncremental(jsonPath, cacheDir, edit ? edit : "none", maxResim,
-                          workers);
+                          workers, engine, tier);
   }
 
   std::cout << "==== step 1: first implementation (v1) ====\n";

@@ -14,6 +14,7 @@
 
 #include "core/flow.hpp"
 #include "inject/delta.hpp"
+#include "inject/tiered.hpp"
 #include "serve/coordinator.hpp"
 #include "sim/workload.hpp"
 
@@ -52,6 +53,13 @@ struct IncrementalOptions {
   /// and stimulus; both must be objects for distribution to engage.
   obs::Json designSpec;
   obs::Json workloadSpec;
+  /// Tiered campaign execution (inject/tiered.hpp).  With any mode other
+  /// than Exact the campaign stage is replaced by two content-addressed
+  /// stages — "abstract_sweep" (the SET→multi-SEU plan) and "escalation"
+  /// (the merged tiered records + measured accuracy envelope) — so a
+  /// re-run with an unchanged design/stimulus/fault list reloads the whole
+  /// tiered verdict set from the store, exactly like the exact path.
+  inject::TierOptions tier;
 };
 
 /// Outcome of one incremental campaign run.
@@ -61,8 +69,13 @@ struct IncrementalCampaign {
   bool fullHit = false;    ///< whole campaign loaded from the store
   bool deltaRun = false;   ///< head diff + cone reuse path taken
   bool distributedRun = false;  ///< sharded over worker processes
+  bool tieredRun = false;       ///< abstract sweep + escalation path taken
   serve::DistributedStats serveStats;
   std::size_t faultCount = 0;
+  /// The `campaign.tiers.*` accuracy-envelope block (tiered runs only):
+  /// per-tier counts, escalation rate, measured agreement, SFF/DDF
+  /// intervals.  Reloaded from the stored escalation artifact on a hit.
+  obs::Json tiers = obs::Json::object();
 };
 
 class IncrementalFlow {

@@ -1,0 +1,114 @@
+#include "fault/abstract.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace socfmea::fault {
+
+namespace {
+
+/// Frontier summary of one SET seed net, cached because every SET on the
+/// same net (campaigns inject the same site at many cycles) shares the cone.
+struct ConeInfo {
+  std::vector<netlist::CellId> ffs;  ///< FF frontier (sorted, unique)
+  bool structural = false;           ///< must escalate: memory / observed / cap
+};
+
+}  // namespace
+
+obs::Json AbstractionMap::toJson() const {
+  obs::Json j = obs::Json::object();
+  j["classes"] = static_cast<long long>(classes.size());
+  j["escalated_structural"] = static_cast<long long>(escalated.size());
+  j["no_effect"] = static_cast<long long>(noEffect.size());
+  j["set_sources"] = static_cast<long long>(setSources);
+  j["passthrough"] = static_cast<long long>(passthrough);
+  return j;
+}
+
+AbstractionMap abstractTransients(const netlist::CompiledDesign& cd,
+                                  const FaultList& faults,
+                                  const AbstractionOptions& opt) {
+  AbstractionMap map;
+  const bool haveObserved = !opt.observedNets.empty();
+
+  std::unordered_map<netlist::NetId, ConeInfo> coneCache;
+  const auto coneOf = [&](netlist::NetId seed) -> const ConeInfo& {
+    const auto it = coneCache.find(seed);
+    if (it != coneCache.end()) return it->second;
+    const netlist::CombFrontier fr = netlist::combFrontier(cd, {seed});
+    ConeInfo info;
+    info.ffs = fr.ffs;
+    bool obsTouch = false;
+    if (haveObserved) {
+      for (const netlist::NetId n : opt.observedNets) {
+        if (fr.reach.netReached(n)) {
+          obsTouch = true;
+          break;
+        }
+      }
+    } else {
+      obsTouch = !fr.outputs.empty();
+    }
+    info.structural =
+        fr.reachesMemory || obsTouch ||
+        (opt.maxFrontier != 0 && info.ffs.size() > opt.maxFrontier);
+    return coneCache.emplace(seed, std::move(info)).first->second;
+  };
+
+  // Dedup key: the abstract fault itself (MultiSeu identity is its sorted
+  // FF set + cycle; passthrough transients dedup by full fault equality).
+  std::map<Fault, std::size_t> classIndex;
+  const auto addToClass = [&](const Fault& af, std::size_t src) {
+    const auto [it, inserted] = classIndex.emplace(af, map.classes.size());
+    if (inserted) map.classes.push_back({af, {}});
+    map.classes[it->second].sources.push_back(src);
+  };
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault& f = faults[i];
+    if (!f.transient()) {
+      map.escalated.push_back(i);  // permanents have no abstract form
+      continue;
+    }
+    if (f.kind != FaultKind::SetPulse) {
+      // SEU / memory soft error / MultiSeu: already expressed at state
+      // level, so the "abstraction" is the identity (exact by construction).
+      addToClass(f, i);
+      ++map.passthrough;
+      continue;
+    }
+    netlist::NetId seed = f.net;
+    if (seed == netlist::kNoNet && f.cell != netlist::kNoCell &&
+        f.cell < cd.cellCount()) {
+      seed = cd.cellOutput(f.cell);
+    }
+    if (seed == netlist::kNoNet || seed >= cd.netCount()) {
+      map.escalated.push_back(i);  // unresolvable site: conservative
+      continue;
+    }
+    const ConeInfo& cone = coneOf(seed);
+    if (cone.structural) {
+      map.escalated.push_back(i);
+      continue;
+    }
+    if (cone.ffs.empty()) {
+      // No state capture, no memory reach, no observed net: the glitch dies
+      // inside the cone before the edge.
+      map.noEffect.push_back(i);
+      continue;
+    }
+    Fault af;
+    af.kind = FaultKind::MultiSeu;
+    af.cells = cone.ffs;
+    af.cycle = f.cycle + 1;  // the corrupted D values latch at f.cycle's edge
+    addToClass(af, i);
+    ++map.setSources;
+  }
+  return map;
+}
+
+}  // namespace socfmea::fault

@@ -1,0 +1,83 @@
+// SET→multi-SEU abstraction (the fast tier of the tiered campaign).
+//
+// Following "Representing Gate-Level SET Faults by Multiple SEU Faults at
+// RTL" (arXiv 2103.05106): a single-event transient on a combinational gate
+// at cycle c can only enter the architectural state through the flip-flops
+// whose D pins its combinational forward cone reaches — at the clock edge of
+// cycle c those FFs may latch a corrupted value.  The abstraction therefore
+// replaces the gate-level SET with ONE multi-bit SEU (FaultKind::MultiSeu)
+// that flips exactly that FF frontier at cycle c+1.  Every SET sharing the
+// same (frontier, cycle) class maps to the same abstract fault, so the
+// abstract sweep runs |classes| simulations instead of |SETs| — that
+// deduplication is where the tier's speedup comes from.
+//
+// The abstraction over-approximates the corruption (the exact SET flips a
+// data-dependent subset of the frontier) and cannot represent two exact
+// effects at all, which are escalated structurally instead of abstracted:
+//
+//   * the cone reaches a memory write-side pin — the glitch could corrupt
+//     stored bits, which no register-SEU can model;
+//   * the cone reaches an observed net (primary output / alarm) — the
+//     glitch is potentially visible in cycle c itself, before any FF flip.
+//
+// Faults with an empty FF frontier (and no structural escalation reason)
+// provably cannot change state or observed outputs: they are mapped to the
+// NoEffect shortcut list rather than simulated at all.  Everything else about
+// accuracy (over-flipping vs the data-dependent exact subset) is *measured*,
+// not assumed: the tiered campaign escalates boundary verdicts, audits a
+// seeded sample and reports DC/SFF as an interval (inject/tiered.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_list.hpp"
+#include "netlist/compiled.hpp"
+#include "netlist/traversal.hpp"
+#include "obs/json.hpp"
+
+namespace socfmea::fault {
+
+struct AbstractionOptions {
+  /// Nets observed every cycle by the campaign monitors (functional
+  /// observation points and alarms).  A SET whose combinational cone touches
+  /// one is escalated structurally: its glitch may be visible in the
+  /// injection cycle itself, which a next-edge FF flip cannot represent.
+  /// When empty, every primary-output cell counts as observed instead.
+  std::vector<netlist::NetId> observedNets;
+  /// Escalate SETs whose FF frontier exceeds this size (0 = unlimited).
+  /// Large frontiers both dilute the dedup win and widen the gap between
+  /// the all-bits abstract flip and the exact data-dependent subset.
+  std::size_t maxFrontier = 0;
+};
+
+/// One abstract fault class and the source faults it represents.
+struct AbstractClass {
+  Fault fault;                       ///< MultiSeu (or passthrough transient)
+  std::vector<std::size_t> sources;  ///< indices into the input fault list
+};
+
+/// Result of abstracting a fault list.  Every input index lands in exactly
+/// one of: a class's `sources`, `escalated`, or `noEffect`.
+struct AbstractionMap {
+  std::vector<AbstractClass> classes;  ///< deduplicated abstract sweep list
+  std::vector<std::size_t> escalated;  ///< must run the exact tier directly
+  std::vector<std::size_t> noEffect;   ///< empty frontier: provably NoEffect
+  std::size_t setSources = 0;          ///< SETs mapped into MultiSeu classes
+  std::size_t passthrough = 0;         ///< transients already state-level
+
+  [[nodiscard]] obs::Json toJson() const;
+};
+
+/// Abstracts `faults` over the compiled CSR fanout.  SET faults become
+/// deduplicated MultiSeu classes via their combinational FF frontier
+/// (netlist::combFrontier — the same shared forward walker the incremental
+/// flow and the bit-sliced engine use).  SEU / memory soft errors are
+/// already expressed at state level, so they pass through as singleton
+/// classes (exact by construction).  Non-transient faults and structurally
+/// inexpressible SETs land in `escalated`.
+[[nodiscard]] AbstractionMap abstractTransients(
+    const netlist::CompiledDesign& cd, const FaultList& faults,
+    const AbstractionOptions& opt = {});
+
+}  // namespace socfmea::fault

@@ -19,13 +19,14 @@ std::string_view faultKindName(FaultKind k) noexcept {
     case FaultKind::MemAddrMulti: return "mem-addr-multi";
     case FaultKind::MemCoupling: return "mem-coupling";
     case FaultKind::MemSoftError: return "mem-soft";
+    case FaultKind::MultiSeu: return "mseu";
   }
   return "?";
 }
 
 bool isTransient(FaultKind k) noexcept {
   return k == FaultKind::SeuFlip || k == FaultKind::SetPulse ||
-         k == FaultKind::MemSoftError;
+         k == FaultKind::MemSoftError || k == FaultKind::MultiSeu;
 }
 
 namespace {
@@ -72,6 +73,10 @@ std::string Fault::describe(const netlist::Netlist& nl) const {
       out += " " + nl.memory(mem).name + "[" + std::to_string(addr) + "]." +
              std::to_string(bit);
       break;
+    case FaultKind::MultiSeu:
+      out += " ffs";
+      for (const netlist::CellId c : cells) out += " " + nl.cell(c).name;
+      break;
   }
   if (transient()) out += " @" + std::to_string(cycle);
   return out;
@@ -79,16 +84,16 @@ std::string Fault::describe(const netlist::Netlist& nl) const {
 
 bool operator<(const Fault& a, const Fault& b) noexcept {
   return std::tie(a.kind, a.net, a.net2, a.cell, a.mem, a.addr, a.addr2, a.bit,
-                  a.stuckValue, a.cycle) <
+                  a.stuckValue, a.cycle, a.cells) <
          std::tie(b.kind, b.net, b.net2, b.cell, b.mem, b.addr, b.addr2, b.bit,
-                  b.stuckValue, b.cycle);
+                  b.stuckValue, b.cycle, b.cells);
 }
 
 bool operator==(const Fault& a, const Fault& b) noexcept {
   return std::tie(a.kind, a.net, a.net2, a.cell, a.mem, a.addr, a.addr2, a.bit,
-                  a.stuckValue, a.cycle) ==
+                  a.stuckValue, a.cycle, a.cells) ==
          std::tie(b.kind, b.net, b.net2, b.cell, b.mem, b.addr, b.addr2, b.bit,
-                  b.stuckValue, b.cycle);
+                  b.stuckValue, b.cycle, b.cells);
 }
 
 }  // namespace socfmea::fault

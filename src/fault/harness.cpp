@@ -56,6 +56,7 @@ void FaultHarness::install(sim::Simulator& sim) {
     case FaultKind::SeuFlip:
     case FaultKind::SetPulse:
     case FaultKind::MemSoftError:
+    case FaultKind::MultiSeu:
       break;  // transient; handled per-cycle
   }
 }
@@ -68,6 +69,9 @@ void FaultHarness::beforeCycle(sim::Simulator& sim, std::uint64_t cycle) {
       break;
     case FaultKind::MemSoftError:
       sim.memory(fault_.mem).flipBit(fault_.addr, fault_.bit);
+      break;
+    case FaultKind::MultiSeu:
+      for (const netlist::CellId c : fault_.cells) sim.flipFf(c);
       break;
     default:
       break;
@@ -115,6 +119,7 @@ void FaultHarness::remove(sim::Simulator& sim) {
     case FaultKind::SeuFlip:
     case FaultKind::SetPulse:
     case FaultKind::MemSoftError:
+    case FaultKind::MultiSeu:
       break;
   }
   if (pulseActive_) {

@@ -6,12 +6,12 @@ namespace socfmea::fault {
 
 namespace {
 
-constexpr std::array<FaultKind, 13> kAllKinds = {
+constexpr std::array<FaultKind, 14> kAllKinds = {
     FaultKind::StuckAt0,     FaultKind::StuckAt1,     FaultKind::SeuFlip,
     FaultKind::SetPulse,     FaultKind::BridgeAnd,    FaultKind::BridgeOr,
     FaultKind::DelayStale,   FaultKind::MemStuckBit,  FaultKind::MemAddrNone,
     FaultKind::MemAddrWrong, FaultKind::MemAddrMulti, FaultKind::MemCoupling,
-    FaultKind::MemSoftError,
+    FaultKind::MemSoftError, FaultKind::MultiSeu,
 };
 
 std::optional<netlist::MemoryId> findMemory(const netlist::Netlist& nl,
@@ -98,6 +98,18 @@ std::string faultKey(const netlist::Netlist& nl, const Fault& f) {
     case FaultKind::MemSoftError:
       add(f.mem < nl.memoryCount() ? nl.memory(f.mem).name : "-");
       break;
+    case FaultKind::MultiSeu: {
+      // Name-based so the key survives cell renumbering, exactly like the
+      // single-cell kinds above; '+'-joined in the (sorted) cell order the
+      // abstraction pass emits.
+      std::string joined;
+      for (const netlist::CellId c : f.cells) {
+        if (!joined.empty()) joined += '+';
+        joined += c != netlist::kNoCell ? nl.cell(c).name : "-";
+      }
+      add(joined.empty() ? "-" : joined);
+      break;
+    }
   }
   key += "/a" + std::to_string(f.addr);
   key += "/a2" + std::to_string(f.addr2);
@@ -120,8 +132,14 @@ obs::Json faultToJson(const netlist::Netlist& nl, const Fault& f) {
   if (f.net != netlist::kNoNet) j["net"] = netRef(nl, f.net);
   if (f.net2 != netlist::kNoNet) j["net2"] = netRef(nl, f.net2);
   if (f.cell != netlist::kNoCell) j["cell"] = nl.cell(f.cell).name;
-  if (f.kind >= FaultKind::MemStuckBit && f.mem < nl.memoryCount()) {
+  if (f.kind >= FaultKind::MemStuckBit && f.kind <= FaultKind::MemSoftError &&
+      f.mem < nl.memoryCount()) {
     j["mem"] = nl.memory(f.mem).name;
+  }
+  if (!f.cells.empty()) {
+    obs::Json cells = obs::Json::array();
+    for (const netlist::CellId c : f.cells) cells.push_back(nl.cell(c).name);
+    j["cells"] = std::move(cells);
   }
   j["addr"] = static_cast<long long>(f.addr);
   j["addr2"] = static_cast<long long>(f.addr2);
@@ -172,6 +190,13 @@ std::optional<Fault> faultFromJson(const netlist::Netlist& nl,
   if (const obs::Json* v = j.find("stuck_value")) f.stuckValue = v->asBool();
   if (const obs::Json* v = j.find("cycle")) {
     f.cycle = static_cast<std::uint64_t>(v->asInt());
+  }
+  if (const obs::Json* v = j.find("cells")) {
+    for (std::size_t i = 0; i < v->size(); ++i) {
+      const auto id = nl.findCell(v->at(i).asString());
+      if (!id) return std::nullopt;
+      f.cells.push_back(*id);
+    }
   }
   return f;
 }

@@ -484,6 +484,7 @@ class WordEngine {
       case FaultKind::SeuFlip:
       case FaultKind::SetPulse:
       case FaultKind::MemSoftError:
+      case FaultKind::MultiSeu:
         break;  // transient; activated at the scheduled cycle
     }
   }
@@ -502,6 +503,15 @@ class WordEngine {
         addFfList(i);
         const NetId q = cd_.cellOutput(f.cell);
         setDiv(q, div_[q] ^ mask);
+      } else if (f.kind == FaultKind::MultiSeu) {
+        const Word mask = Word::laneMask(lane);
+        for (const netlist::CellId cell : f.cells) {
+          const std::uint32_t i = ffIndexOfCell_[cell];
+          ffDiv_[i] ^= mask;
+          addFfList(i);
+          const NetId q = cd_.cellOutput(cell);
+          setDiv(q, div_[q] ^ mask);
+        }
       } else if (f.kind == FaultKind::MemSoftError) {
         ensureOwned(f.mem, lane);
         clones_[f.mem][lane]->flipBit(f.addr, f.bit);

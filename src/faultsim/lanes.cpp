@@ -81,6 +81,13 @@ std::vector<netlist::NetId> faultSeedNets(const netlist::CompiledDesign& cd,
         }
       }
       break;
+    case FaultKind::MultiSeu:
+      for (const netlist::CellId c : f.cells) {
+        if (c != netlist::kNoCell && c < cd.cellCount()) {
+          push(cd.cellOutput(c));
+        }
+      }
+      break;
   }
   return seeds;
 }

@@ -15,7 +15,7 @@
 
 #include "fault/fault_list.hpp"
 #include "netlist/compiled.hpp"
-#include "netlist/diff.hpp"
+#include "netlist/traversal.hpp"
 
 namespace socfmea::faultsim {
 

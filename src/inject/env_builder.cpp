@@ -73,6 +73,9 @@ std::vector<ZoneId> ownerZones(const zones::ZoneDatabase& db,
       addCellOwners(nl.net(f.net).driver);
       addCellOwners(nl.net(f.net2).driver);
       break;
+    case FaultKind::MultiSeu:
+      for (const netlist::CellId c : f.cells) addCellOwners(c);
+      break;
     default: {  // memory faults
       for (const zones::SensibleZone& z : db.zones()) {
         if (z.kind == zones::ZoneKind::Memory && z.mem == f.mem) {

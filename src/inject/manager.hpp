@@ -166,6 +166,12 @@ class InjectionManager {
   [[nodiscard]] const InjectionEnvironment& environment() const noexcept {
     return env_;
   }
+  [[nodiscard]] const netlist::Netlist& design() const noexcept { return *nl_; }
+  /// The compiled form every campaign machine shares (the tiered campaign's
+  /// abstraction pass walks its CSR fanout).
+  [[nodiscard]] const netlist::CompiledDesign& compiled() const noexcept {
+    return *cd_;
+  }
 
   /// Runs the campaign; `coverage`, when non-null, accumulates the
   /// completeness counters.  With opt.threads != 1 the campaign fans out

@@ -1,0 +1,273 @@
+#include "inject/tiered.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+
+namespace socfmea::inject {
+
+std::string_view tierModeName(TierMode m) noexcept {
+  switch (m) {
+    case TierMode::Exact: return "exact";
+    case TierMode::Abstract: return "abstract";
+    case TierMode::Auto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<TierMode> tierModeFromName(std::string_view n) noexcept {
+  if (n == "exact") return TierMode::Exact;
+  if (n == "abstract") return TierMode::Abstract;
+  if (n == "auto") return TierMode::Auto;
+  return std::nullopt;
+}
+
+double TierStats::escalationRate() const noexcept {
+  if (sourceFaults == 0) return 0.0;
+  return static_cast<double>(escalatedFaults) /
+         static_cast<double>(sourceFaults);
+}
+
+double TierStats::agreement() const noexcept {
+  if (auditChecked == 0) return 1.0;
+  return static_cast<double>(auditAgreed) / static_cast<double>(auditChecked);
+}
+
+obs::Json TierStats::toJson() const {
+  obs::Json j = obs::Json::object();
+  j["mode"] = std::string(tierModeName(mode));
+  j["source_faults"] = static_cast<long long>(sourceFaults);
+  j["abstract_classes"] = static_cast<long long>(abstractClasses);
+  j["passthrough_faults"] = static_cast<long long>(passthroughFaults);
+  j["structural_escalations"] = static_cast<long long>(structuralEscalations);
+  j["no_effect_shortcuts"] = static_cast<long long>(noEffectShortcuts);
+  j["verdict_escalations"] = static_cast<long long>(verdictEscalations);
+  j["escalated_faults"] = static_cast<long long>(escalatedFaults);
+  j["escalation_rate"] = escalationRate();
+  j["audited_classes"] = static_cast<long long>(auditedClasses);
+  j["audit_checked"] = static_cast<long long>(auditChecked);
+  j["audit_agreed"] = static_cast<long long>(auditAgreed);
+  j["agreement"] = agreement();
+  j["abstract_resolved_activated"] =
+      static_cast<long long>(abstractResolvedActivated);
+  j["abstract_resolved_dangerous"] =
+      static_cast<long long>(abstractResolvedDangerous);
+  return j;
+}
+
+std::pair<double, double> TieredResult::sffInterval() const {
+  const OutcomeTally t = merged.tally();
+  const double point = CampaignResult::measuredSff(t);
+  if (!abstracted || t.activated() == 0) return {point, point};
+  const double slack =
+      (1.0 - tiers.agreement()) *
+      static_cast<double>(tiers.abstractResolvedActivated) /
+      static_cast<double>(t.activated());
+  return {std::max(0.0, point - slack), std::min(1.0, point + slack)};
+}
+
+std::pair<double, double> TieredResult::ddfInterval() const {
+  const OutcomeTally t = merged.tally();
+  const double point = CampaignResult::measuredDdf(t);
+  const std::size_t dangerous = t.count(Outcome::DangerousDetected) +
+                                t.count(Outcome::DangerousUndetected);
+  if (!abstracted || dangerous == 0) return {point, point};
+  const double slack =
+      (1.0 - tiers.agreement()) *
+      static_cast<double>(tiers.abstractResolvedDangerous) /
+      static_cast<double>(dangerous);
+  return {std::max(0.0, point - slack), std::min(1.0, point + slack)};
+}
+
+obs::Json TieredResult::tiersJson() const {
+  obs::Json j = tiers.toJson();
+  j["abstracted"] = abstracted;
+  const auto [sffLo, sffHi] = sffInterval();
+  j["sff_low"] = sffLo;
+  j["sff_high"] = sffHi;
+  const auto [ddfLo, ddfHi] = ddfInterval();
+  j["ddf_low"] = ddfLo;
+  j["ddf_high"] = ddfHi;
+  return j;
+}
+
+TieredResult TieredCampaign::run(sim::Workload& wl,
+                                 const fault::FaultList& faults,
+                                 CoverageCollector* coverage,
+                                 const CampaignOptions& opt) {
+  TieredResult out;
+  out.tiers.mode = topt_.mode;
+  out.tiers.sourceFaults = faults.size();
+
+  const InjectionEnvironment& env = mgr_->environment();
+
+  // ---- plan ---------------------------------------------------------------
+  bool useAbstract = topt_.mode != TierMode::Exact;
+  fault::AbstractionMap amap;
+  if (useAbstract) {
+    fault::AbstractionOptions ao;
+    ao.observedNets = env.obsNets;
+    ao.observedNets.insert(ao.observedNets.end(), env.alarmNets.begin(),
+                           env.alarmNets.end());
+    ao.maxFrontier = topt_.maxFrontier;
+    amap = fault::abstractTransients(mgr_->compiled(), faults, ao);
+    if (topt_.mode == TierMode::Auto &&
+        amap.classes.size() + amap.escalated.size() >= faults.size()) {
+      useAbstract = false;  // no dedup win: the flat walk is cheaper
+    }
+  }
+  if (!useAbstract) {
+    out.merged = mgr_->run(wl, faults, coverage, opt);
+    return out;
+  }
+
+  out.abstracted = true;
+  out.tiers.abstractClasses = amap.classes.size();
+  out.tiers.passthroughFaults = amap.passthrough;
+  out.tiers.structuralEscalations = amap.escalated.size();
+  out.tiers.noEffectShortcuts = amap.noEffect.size();
+
+  // ---- execute: the deduplicated abstract sweep ---------------------------
+  fault::FaultList absFaults;
+  absFaults.reserve(amap.classes.size());
+  for (const fault::AbstractClass& c : amap.classes) {
+    absFaults.push_back(c.fault);
+  }
+  const CampaignResult absResult = mgr_->run(wl, absFaults, nullptr, opt);
+
+  // ---- escalate -----------------------------------------------------------
+  std::vector<char> escalateClass(amap.classes.size(), 0);
+  std::vector<char> auditClass(amap.classes.size(), 0);
+  sim::Rng auditRng(topt_.auditSeed);
+  const auto auditThreshold = static_cast<std::uint64_t>(
+      std::clamp(topt_.auditFraction, 0.0, 1.0) * 1000000.0);
+  for (std::size_t ci = 0; ci < amap.classes.size(); ++ci) {
+    // Passthrough classes are already state-level — exact by construction.
+    if (amap.classes[ci].fault.kind != fault::FaultKind::MultiSeu) continue;
+    const InjectionRecord& r = absResult.records[ci];
+    bool esc = r.outcome == Outcome::DangerousUndetected;  // SIL-critical
+    if (!esc && r.obs.obs && r.obs.diag) {
+      const auto boundary =
+          static_cast<std::int64_t>(r.obs.firstObsCycle + env.detectionWindow);
+      const std::int64_t delta =
+          static_cast<std::int64_t>(r.obs.diagCycle) - boundary;
+      const std::uint64_t dist =
+          static_cast<std::uint64_t>(delta < 0 ? -delta : delta);
+      if (dist <= topt_.boundaryMargin) esc = true;
+    }
+    if (esc) {
+      escalateClass[ci] = 1;
+      ++out.tiers.verdictEscalations;
+    } else if (auditRng.below(1000000) < auditThreshold) {
+      auditClass[ci] = 1;
+      ++out.tiers.auditedClasses;
+    }
+  }
+
+  std::vector<std::size_t> exactSources = amap.escalated;
+  for (std::size_t ci = 0; ci < amap.classes.size(); ++ci) {
+    if (escalateClass[ci] == 0 && auditClass[ci] == 0) continue;
+    exactSources.insert(exactSources.end(), amap.classes[ci].sources.begin(),
+                        amap.classes[ci].sources.end());
+  }
+  std::sort(exactSources.begin(), exactSources.end());
+  fault::FaultList exactFaults;
+  exactFaults.reserve(exactSources.size());
+  std::unordered_map<std::size_t, std::size_t> exactPos;
+  exactPos.reserve(exactSources.size());
+  for (const std::size_t src : exactSources) {
+    exactPos.emplace(src, exactFaults.size());
+    exactFaults.push_back(faults[src]);
+  }
+  CampaignResult exactResult;
+  if (!exactFaults.empty()) {
+    exactResult = mgr_->run(wl, exactFaults, nullptr, opt);
+  }
+
+  out.tiers.escalatedFaults = amap.escalated.size();
+  for (std::size_t ci = 0; ci < amap.classes.size(); ++ci) {
+    if (escalateClass[ci] != 0) {
+      out.tiers.escalatedFaults += amap.classes[ci].sources.size();
+    }
+  }
+
+  // Audit: measure how often the accepted abstract verdict conservatively
+  // covers the exact one.  Outcome is severity-ordered (NoEffect <
+  // SafeMasked < SafeDetected < DangerousDetected < DangerousUndetected),
+  // and the abstraction over-flips, so exact ≤ abstract is the expected
+  // direction; a disagreement means the all-bits flip was *optimistic*
+  // (e.g. it tripped the alarm while the exact data-dependent subset slips
+  // through) — the unsoundness the accuracy envelope has to bound.
+  for (std::size_t ci = 0; ci < amap.classes.size(); ++ci) {
+    if (auditClass[ci] == 0) continue;
+    const Outcome abstractOutcome = absResult.records[ci].outcome;
+    for (const std::size_t src : amap.classes[ci].sources) {
+      ++out.tiers.auditChecked;
+      if (exactResult.records[exactPos.at(src)].outcome <= abstractOutcome) {
+        ++out.tiers.auditAgreed;
+      }
+    }
+  }
+
+  // ---- merge: one record per source fault, exact wins ---------------------
+  const zones::ZoneDatabase* db = env.zones;
+  out.merged.records.resize(faults.size());
+  const auto abstractResolved = [&](std::size_t src,
+                                    const InjectionRecord& classRec) {
+    InjectionRecord rec = classRec;
+    rec.fault = faults[src];
+    rec.zone = db != nullptr ? targetZoneOf(*db, faults[src]) : zones::kNoZone;
+    if (rec.outcome != Outcome::NoEffect) {
+      ++out.tiers.abstractResolvedActivated;
+      if (rec.outcome == Outcome::DangerousDetected) {
+        ++out.tiers.abstractResolvedDangerous;
+      }
+    }
+    out.merged.records[src] = std::move(rec);
+  };
+  for (const std::size_t src : amap.noEffect) {
+    InjectionRecord rec;
+    rec.fault = faults[src];
+    rec.zone = db != nullptr ? targetZoneOf(*db, faults[src]) : zones::kNoZone;
+    out.merged.records[src] = std::move(rec);
+  }
+  for (std::size_t ci = 0; ci < amap.classes.size(); ++ci) {
+    for (const std::size_t src : amap.classes[ci].sources) {
+      if (const auto it = exactPos.find(src); it != exactPos.end()) {
+        out.merged.records[src] = exactResult.records[it->second];
+      } else {
+        abstractResolved(src, absResult.records[ci]);
+      }
+    }
+  }
+  for (const std::size_t src : amap.escalated) {
+    out.merged.records[src] = exactResult.records[exactPos.at(src)];
+  }
+
+  out.merged.cyclesSimulated =
+      absResult.cyclesSimulated + exactResult.cyclesSimulated;
+  out.merged.checkpointHits =
+      absResult.checkpointHits + exactResult.checkpointHits;
+  out.merged.checkpointCyclesSkipped =
+      absResult.checkpointCyclesSkipped + exactResult.checkpointCyclesSkipped;
+  out.merged.convergedEarly =
+      absResult.convergedEarly + exactResult.convergedEarly;
+
+  if (coverage != nullptr) {
+    for (const InjectionRecord& rec : out.merged.records) {
+      coverage->account(rec.obs);
+    }
+  }
+  return out;
+}
+
+TieredResult runTieredCampaign(InjectionManager& mgr, sim::Workload& wl,
+                               const fault::FaultList& faults,
+                               const TierOptions& topt,
+                               CoverageCollector* coverage,
+                               const CampaignOptions& opt) {
+  return TieredCampaign(mgr, topt).run(wl, faults, coverage, opt);
+}
+
+}  // namespace socfmea::inject

@@ -1,0 +1,145 @@
+// Tiered campaign orchestration: plan → execute → escalate → merge.
+//
+// The flat fault-list walk (InjectionManager::run) stays the exact reference
+// engine; TieredCampaign layers the SET→multi-SEU abstraction
+// (fault/abstract.hpp) in front of it as a fast first tier:
+//
+//   plan      — abstract every transient onto its FF-frontier class; faults
+//               the abstraction cannot represent (permanents, memory-write
+//               or observed-net cones) are routed to the exact tier up
+//               front, empty-frontier SETs short-circuit to NoEffect;
+//   execute   — run the deduplicated abstract class list through the normal
+//               campaign engine (so it composes with the bit-sliced engine
+//               and the thread pool unchanged);
+//   escalate  — re-run exactly, at gate level, every source fault whose
+//               abstract verdict is unsafe (DangerousUndetected) or sits
+//               within `boundaryMargin` cycles of the detection-window
+//               boundary, plus a seeded audit sample of the accepted
+//               classes that *measures* abstract-vs-exact agreement;
+//   merge     — one record per source fault, exact verdicts taking
+//               precedence, with per-tier counts and the measured accuracy
+//               envelope (TierStats) alongside the merged CampaignResult.
+//
+// With TierMode::Exact the orchestrator is the identity: it calls
+// InjectionManager::run once and the records are bit-for-bit those of the
+// flat walk.  Abstract-tier DC/SFF figures are reported as intervals
+// (TierStats::sffInterval) because abstract-resolved verdicts carry the
+// measured (not assumed) agreement rate.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "fault/abstract.hpp"
+#include "inject/manager.hpp"
+
+namespace socfmea::inject {
+
+enum class TierMode : std::uint8_t {
+  Exact,     ///< flat exact walk (the historical behaviour)
+  Abstract,  ///< abstract sweep + escalation, even without a dedup win
+  Auto,      ///< abstract when the plan dedups the sweep, exact otherwise
+};
+
+[[nodiscard]] std::string_view tierModeName(TierMode m) noexcept;
+[[nodiscard]] std::optional<TierMode> tierModeFromName(
+    std::string_view n) noexcept;
+
+struct TierOptions {
+  TierMode mode = TierMode::Exact;
+  /// A record whose alarm landed within this many cycles of the detection
+  /// window boundary (|diagCycle − (firstObsCycle + window)|) escalates:
+  /// the abstraction's ≥1-cycle timing skew could flip timely ↔ late.
+  std::uint64_t boundaryMargin = 2;
+  /// Fraction of accepted abstract classes whose source faults re-run
+  /// exactly anyway, to measure how often the abstract verdict
+  /// conservatively covers the exact one (0 disables the audit; agreement
+  /// then reports 1 with zero samples).
+  double auditFraction = 0.05;
+  std::uint64_t auditSeed = 0xab57;
+  /// Escalate SETs whose FF frontier exceeds this size (0 = unlimited).
+  std::size_t maxFrontier = 0;
+};
+
+/// Per-tier accounting and the measured accuracy envelope.
+struct TierStats {
+  TierMode mode = TierMode::Exact;
+  std::size_t sourceFaults = 0;
+  std::size_t abstractClasses = 0;   ///< deduplicated abstract sweep size
+  std::size_t passthroughFaults = 0;   ///< SEU/soft-error identity classes
+  std::size_t structuralEscalations = 0;  ///< routed to exact in the plan
+  std::size_t noEffectShortcuts = 0;      ///< empty-frontier SETs, not run
+  std::size_t verdictEscalations = 0;     ///< classes escalated post-sweep
+  std::size_t escalatedFaults = 0;   ///< source faults re-run exactly (all)
+  std::size_t auditedClasses = 0;
+  std::size_t auditChecked = 0;      ///< audited source faults compared
+  std::size_t auditAgreed = 0;       ///< ... whose exact outcome matched
+  /// Merged records carried by the abstract tier (not exact-verified):
+  /// activated ones widen the reported SFF interval, the DangerousDetected
+  /// subset widens the DDF interval.
+  std::size_t abstractResolvedActivated = 0;
+  std::size_t abstractResolvedDangerous = 0;
+
+  /// Fraction of source faults that needed the exact tier.
+  [[nodiscard]] double escalationRate() const noexcept;
+  /// Measured conservative-coverage agreement over the audit sample: the
+  /// fraction of audited source faults whose exact outcome is no more
+  /// severe than the accepted abstract verdict (Outcome is
+  /// severity-ordered).  1 − agreement is the measured rate at which the
+  /// abstraction is *optimistic* — the direction that could hide a
+  /// dangerous fault.  Reports 1.0 with zero samples (the intervals below
+  /// are then degenerate).
+  [[nodiscard]] double agreement() const noexcept;
+
+  [[nodiscard]] obs::Json toJson() const;
+};
+
+struct TieredResult {
+  CampaignResult merged;  ///< one record per source fault, list order
+  TierStats tiers;
+  /// True when the abstract tier actually ran (mode resolved to Abstract).
+  bool abstracted = false;
+
+  /// Conservative SFF interval: abstract-resolved activated records are
+  /// credited only at the measured agreement rate ([point − (1−a)·u/act,
+  /// min(1, point + (1−a)·u/act)] with u = unaudited abstract-resolved
+  /// activated records).  Exact mode: both ends equal the point estimate.
+  [[nodiscard]] std::pair<double, double> sffInterval() const;
+  /// Same envelope applied to the measured DDF.
+  [[nodiscard]] std::pair<double, double> ddfInterval() const;
+
+  /// The `campaign.tiers.*` accuracy-envelope block: per-tier counts,
+  /// escalation rate, measured agreement and both intervals.
+  [[nodiscard]] obs::Json tiersJson() const;
+};
+
+/// The tiered orchestrator.  Holds no state beyond its bindings; run() may
+/// be called repeatedly with different workloads / fault lists.
+class TieredCampaign {
+ public:
+  TieredCampaign(InjectionManager& mgr, TierOptions topt)
+      : mgr_(&mgr), topt_(topt) {}
+
+  /// Runs plan → execute → escalate → merge.  `opt` configures the
+  /// underlying engine exactly as for InjectionManager::run; `coverage` is
+  /// filled from the merged per-source verdicts.
+  [[nodiscard]] TieredResult run(sim::Workload& wl,
+                                 const fault::FaultList& faults,
+                                 CoverageCollector* coverage = nullptr,
+                                 const CampaignOptions& opt = {});
+
+ private:
+  InjectionManager* mgr_;
+  TierOptions topt_;
+};
+
+/// Convenience wrapper used by the flow layers.
+[[nodiscard]] TieredResult runTieredCampaign(InjectionManager& mgr,
+                                             sim::Workload& wl,
+                                             const fault::FaultList& faults,
+                                             const TierOptions& topt,
+                                             CoverageCollector* coverage = nullptr,
+                                             const CampaignOptions& opt = {});
+
+}  // namespace socfmea::inject

@@ -119,44 +119,6 @@ NetlistDiff diff(const Netlist& a, const Netlist& b) {
   return d;
 }
 
-ForwardReach forwardReach(const CompiledDesign& cd,
-                          const std::vector<NetId>& seeds) {
-  ForwardReach reach;
-  reach.net.assign(cd.netCount(), 0);
-  reach.cell.assign(cd.cellCount(), 0);
-  reach.mem.assign(cd.design().memoryCount(), 0);
-  extendForwardReach(cd, reach, seeds);
-  return reach;
-}
-
-void extendForwardReach(const CompiledDesign& cd, ForwardReach& reach,
-                        const std::vector<NetId>& seeds) {
-  const Netlist& nl = cd.design();
-  std::vector<NetId> stack;
-  const auto pushNet = [&](NetId n) {
-    if (n != kNoNet && reach.net[n] == 0) {
-      reach.net[n] = 1;
-      stack.push_back(n);
-    }
-  };
-  for (const NetId n : seeds) pushNet(n);
-
-  while (!stack.empty()) {
-    const NetId n = stack.back();
-    stack.pop_back();
-    for (const CellId c : cd.fanout(n)) {
-      if (reach.cell[c] != 0) continue;
-      reach.cell[c] = 1;
-      pushNet(cd.cellOutput(c));  // crosses flip-flops via their Q net
-    }
-    for (const MemoryId m : cd.memWriteSinks(n)) {
-      if (reach.mem[m] != 0) continue;
-      reach.mem[m] = 1;  // corrupted write resurfaces on the read port
-      for (const NetId r : nl.memory(m).rdata) pushNet(r);
-    }
-  }
-}
-
 AffectedCone affectedCone(const CompiledDesign& cd, const NetlistDiff& d,
                           const std::vector<NetId>& extraSeedNets) {
   const Netlist& nl = cd.design();
@@ -277,6 +239,15 @@ bool faultAffected(const AffectedCone& cone, const CompiledDesign& cd,
     case fault::FaultKind::MemCoupling:
     case fault::FaultKind::MemSoftError:
       return f.mem >= cone.mem.size() || cone.memAffected(f.mem);
+    case fault::FaultKind::MultiSeu: {
+      if (f.cells.empty()) return true;  // conservative
+      for (const CellId c : f.cells) {
+        if (c == kNoCell || c >= cone.cell.size() || cone.cellAffected(c)) {
+          return true;
+        }
+      }
+      return false;
+    }
   }
   return true;
 }

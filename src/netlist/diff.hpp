@@ -30,6 +30,7 @@
 #include "fault/fault.hpp"
 #include "netlist/compiled.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/traversal.hpp"
 
 namespace socfmea::netlist {
 
@@ -60,36 +61,9 @@ struct NetlistDiff {
 /// Structural diff from design `a` (old) to design `b` (new).
 [[nodiscard]] NetlistDiff diff(const Netlist& a, const Netlist& b);
 
-/// Multi-cycle forward closure (through flip-flops and memory write ports)
-/// of a seed net set over the compiled CSR adjacency: every net, cell and
-/// memory whose value can be perturbed by a disturbance on the seeds.  This
-/// is the "D" set of affectedCone() exposed on its own — the bit-sliced
-/// fault-parallel engine uses it to bound per-word activity to the union of
-/// its live lanes' forward cones.
-struct ForwardReach {
-  std::vector<char> net;   ///< indexed by NetId
-  std::vector<char> cell;  ///< indexed by CellId
-  std::vector<char> mem;   ///< indexed by MemoryId
-
-  [[nodiscard]] bool netReached(NetId n) const {
-    return n != kNoNet && n < net.size() && net[n] != 0;
-  }
-  [[nodiscard]] bool cellReached(CellId c) const {
-    return c != kNoCell && c < cell.size() && cell[c] != 0;
-  }
-  [[nodiscard]] bool memReached(MemoryId m) const {
-    return m < mem.size() && mem[m] != 0;
-  }
-};
-
-[[nodiscard]] ForwardReach forwardReach(const CompiledDesign& cd,
-                                        const std::vector<NetId>& seeds);
-
-/// Extends an existing closure by additional seeds in place (reachability is
-/// union-distributive, so merging per-seed closures equals one closure over
-/// the union).  Already-marked nodes are not re-walked.
-void extendForwardReach(const CompiledDesign& cd, ForwardReach& reach,
-                        const std::vector<NetId>& seeds);
+// ForwardReach — the "D" set of affectedCone() — lives in
+// netlist/traversal.hpp: it is the shared forward walker this closure, the
+// bit-sliced engine's cone union and the SET→multi-SEU abstraction all use.
 
 /// The resimulation set over design B: flags indexed by CellId / MemoryId.
 struct AffectedCone {

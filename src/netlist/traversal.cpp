@@ -11,6 +11,56 @@ void sortUnique(std::vector<CellId>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+// The one shared forward walker (see ForwardReach in the header).  Marks
+// reached nets / cells / memories in `reach`; `throughRegisters` crosses
+// flip-flops via their Q net (multi-cycle closure), `throughMemories`
+// crosses behavioural memories via their write-side pins (a corrupted write
+// resurfaces on the read port).  A boundary cell (flip-flop with
+// `throughRegisters` false) is still marked reached — it just isn't crossed.
+// When `order` is non-null, newly reached cells are appended in discovery
+// order.
+void walkForward(const CompiledDesign& cd, ForwardReach& reach,
+                 const std::vector<NetId>& seeds, bool throughRegisters,
+                 bool throughMemories, std::vector<CellId>* order) {
+  const Netlist& nl = cd.design();
+  std::vector<NetId> stack;
+  const auto pushNet = [&](NetId n) {
+    if (n != kNoNet && reach.net[n] == 0) {
+      reach.net[n] = 1;
+      stack.push_back(n);
+    }
+  };
+  for (const NetId n : seeds) pushNet(n);
+
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    for (const CellId c : cd.fanout(n)) {
+      if (reach.cell[c] != 0) continue;
+      reach.cell[c] = 1;
+      if (order != nullptr) order->push_back(c);
+      const CellType t = cd.cellType(c);
+      if (isCombinational(t) || (t == CellType::Dff && throughRegisters)) {
+        pushNet(cd.cellOutput(c));
+      }
+    }
+    if (!throughMemories) continue;
+    for (const MemoryId m : cd.memWriteSinks(n)) {
+      if (reach.mem[m] != 0) continue;
+      reach.mem[m] = 1;
+      for (const NetId r : nl.memory(m).rdata) pushNet(r);
+    }
+  }
+}
+
+ForwardReach emptyReach(const CompiledDesign& cd) {
+  ForwardReach reach;
+  reach.net.assign(cd.netCount(), 0);
+  reach.cell.assign(cd.cellCount(), 0);
+  reach.mem.assign(cd.design().memoryCount(), 0);
+  return reach;
+}
+
 }  // namespace
 
 Cone faninCone(const Netlist& nl, const std::vector<NetId>& roots) {
@@ -170,47 +220,52 @@ std::vector<CellId> forwardReach(const Netlist& nl,
 std::vector<CellId> forwardReach(const CompiledDesign& cd,
                                  const std::vector<NetId>& srcNets,
                                  bool throughRegisters, bool throughMemories) {
-  std::vector<bool> netSeen(cd.netCount(), false);
-  std::vector<bool> cellSeen(cd.cellCount(), false);
-  std::vector<NetId> stack;
-  const auto push = [&](NetId n) {
-    if (n == kNoNet || netSeen[n]) return;
-    netSeen[n] = true;
-    stack.push_back(n);
-  };
-  for (NetId s : srcNets) push(s);
-
-  const bool crossMems =
-      throughMemories && cd.design().memoryCount() != 0;
-
+  ForwardReach reach = emptyReach(cd);
   std::vector<CellId> reached;
-  while (!stack.empty()) {
-    const NetId n = stack.back();
-    stack.pop_back();
-    if (crossMems) {
-      for (MemoryId m : cd.memWriteSinks(n)) {
-        for (NetId r : cd.design().memory(m).rdata) push(r);
-      }
-    }
-    for (CellId sink : cd.fanout(n)) {
-      if (cellSeen[sink]) continue;
-      cellSeen[sink] = true;
-      reached.push_back(sink);
-      const CellType t = cd.cellType(sink);
-      NetId out = kNoNet;
-      if (isCombinational(t)) {
-        out = cd.cellOutput(sink);
-      } else if (t == CellType::Dff && throughRegisters) {
-        out = cd.cellOutput(sink);
-      }
-      if (out != kNoNet && !netSeen[out]) {
-        netSeen[out] = true;
-        stack.push_back(out);
-      }
-    }
-  }
+  walkForward(cd, reach, srcNets, throughRegisters, throughMemories, &reached);
   std::sort(reached.begin(), reached.end());
   return reached;
+}
+
+ForwardReach forwardReach(const CompiledDesign& cd,
+                          const std::vector<NetId>& seeds) {
+  ForwardReach reach = emptyReach(cd);
+  extendForwardReach(cd, reach, seeds);
+  return reach;
+}
+
+void extendForwardReach(const CompiledDesign& cd, ForwardReach& reach,
+                        const std::vector<NetId>& seeds) {
+  walkForward(cd, reach, seeds, /*throughRegisters=*/true,
+              /*throughMemories=*/true, nullptr);
+}
+
+CombFrontier combFrontier(const CompiledDesign& cd,
+                          const std::vector<NetId>& seeds) {
+  CombFrontier fr;
+  fr.reach = emptyReach(cd);
+  std::vector<CellId> reached;
+  walkForward(cd, fr.reach, seeds, /*throughRegisters=*/false,
+              /*throughMemories=*/false, &reached);
+  std::sort(reached.begin(), reached.end());
+  for (const CellId c : reached) {
+    const CellType t = cd.cellType(c);
+    if (t == CellType::Dff) {
+      fr.ffs.push_back(c);
+    } else if (t == CellType::Output) {
+      fr.outputs.push_back(c);
+    }
+  }
+  for (NetId n = 0; n < cd.netCount(); ++n) {
+    if (fr.reach.net[n] == 0) continue;
+    for (const MemoryId m : cd.memWriteSinks(n)) {
+      (void)m;
+      fr.reachesMemory = true;
+      break;
+    }
+    if (fr.reachesMemory) break;
+  }
+  return fr;
 }
 
 std::vector<NetId> combFanoutNets(const Netlist& nl, NetId src) {

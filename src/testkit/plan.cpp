@@ -117,7 +117,7 @@ std::string_view planNetName(const Netlist& nl, NetId id) {
 }
 
 FaultKind kindFromName(const std::string& name, std::size_t line) {
-  for (int k = 0; k <= static_cast<int>(FaultKind::MemSoftError); ++k) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::MultiSeu); ++k) {
     const auto kind = static_cast<FaultKind>(k);
     if (fault::faultKindName(kind) == name) return kind;
   }
@@ -207,6 +207,14 @@ void writePlan(std::ostream& out, const Netlist& nl, const TestPlan& plan) {
         out << " mem=" << nl.memory(f.mem).name << " addr=" << f.addr
             << " addr2=" << f.addr2 << " bit=" << f.bit;
         break;
+      case FaultKind::MultiSeu: {
+        out << " cells=";
+        for (std::size_t i = 0; i < f.cells.size(); ++i) {
+          if (i != 0) out << ',';
+          out << nl.cell(f.cells[i]).name;
+        }
+        break;
+      }
       default:
         break;
     }
@@ -294,6 +302,17 @@ TestPlan readPlan(std::istream& in, const Netlist& nl) {
           f.stuckValue = bindInt(v, lineNo) != 0;
         } else if (k == "cycle") {
           f.cycle = bindInt(v, lineNo);
+        } else if (k == "cells") {
+          std::size_t pos = 0;
+          while (pos <= v.size()) {
+            const std::size_t comma = v.find(',', pos);
+            const std::string name =
+                v.substr(pos, comma == std::string::npos ? std::string::npos
+                                                         : comma - pos);
+            if (!name.empty()) f.cells.push_back(bindCell(nl, name, lineNo));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+          }
         } else {
           throw PlanError("line " + std::to_string(lineNo) +
                           ": unknown fault attribute '" + k + "'");
@@ -358,6 +377,17 @@ TestPlan rebindPlan(const Netlist& from, const Netlist& to,
         }
         break;
       }
+      case FaultKind::MultiSeu:
+        for (auto& c : f.cells) {
+          const auto& name = from.cell(c).name;
+          const auto mapped = to.findCell(name);
+          if (!mapped) {
+            throw PlanError("rebind: cell '" + name +
+                            "' missing from design '" + to.name() + "'");
+          }
+          c = *mapped;
+        }
+        break;
       default:
         break;
     }

@@ -1,0 +1,475 @@
+// The SET→multi-SEU abstraction tier (fault/abstract) and the tiered
+// campaign orchestrator (inject/tiered):
+//
+//   * the plan partitions every input fault into exactly one of
+//     {class source, structural escalation, no-effect shortcut} and dedups
+//     SETs by (FF frontier, cycle) — the tier's speedup lever;
+//   * escalation routing is exactly the documented policy (observed-net
+//     cones, memory write reach, frontier cap, unresolvable sites);
+//   * MultiSeu faults round-trip through the name-based serializer and
+//     their provenance keys are stable across design re-parses and
+//     re-abstraction (the precondition for delta-campaign reuse);
+//   * TierMode::Exact is the identity (records bit-for-bit the flat
+//     walk's), and a fully-audited abstract run merges back to the exact
+//     verdict for every source fault — the differential oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/abstract.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/serialize.hpp"
+#include "inject/tiered.hpp"
+#include "inject/workload.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/text_format.hpp"
+#include "netlist/traversal.hpp"
+#include "zones/extract.hpp"
+
+namespace nl = socfmea::netlist;
+namespace zn = socfmea::zones;
+namespace ft = socfmea::fault;
+namespace ij = socfmea::inject;
+
+namespace {
+
+// Same known safety architecture as the injection tests:
+//   din[4] --> dreg[4] --> dout            (protected payload)
+//   parity(din) -> preg --> checker vs parity(dreg) -> alarm_chk
+//   an isolated "spare" register driving nothing.
+// The parity tree's gates have FF-only comb cones (abstractable); the
+// checker's gates reach the alarm output (structural escalation).
+struct Testbed {
+  nl::Netlist n{"tb"};
+  nl::NetId rst;
+  nl::Bus din, dregQ;
+  zn::ZoneDatabase db;
+  zn::EffectsModel fx;
+
+  Testbed() : db(build()), fx(db, {"alarm_"}) {}
+
+  zn::ZoneDatabase build() {
+    nl::Builder b(n);
+    rst = b.input("rst");
+    din = b.inputBus("din", 4);
+    dregQ = b.registerBus("dreg", din, nl::kNoNet, rst, 0);
+    const auto pIn = b.reduceXor(din);
+    const auto pQ = b.dff("preg", pIn, nl::kNoNet, rst, false);
+    const auto pNow = b.reduceXor(dregQ);
+    b.output("alarm_chk", b.bxor(pQ, pNow));
+    b.outputBus("dout", dregQ);
+    const auto spareQ = b.dff("spare", din[0], nl::kNoNet, rst, false);
+    (void)spareQ;
+    n.check();
+    return zn::extractZones(n);
+  }
+
+  [[nodiscard]] ij::InjectionEnvironment env(std::uint64_t window = 4) const {
+    return ij::EnvironmentBuilder(db, fx)
+        .withSeed(1)
+        .withDetectionWindow(window)
+        .build();
+  }
+
+  [[nodiscard]] ij::RandomWorkload workload(std::uint64_t cycles = 64) const {
+    return ij::RandomWorkload(n, cycles, 5, {{rst, false}});
+  }
+
+  /// Every SET site at a handful of workload cycles plus some SEUs — the
+  /// kind of transient mix a real campaign list carries.
+  [[nodiscard]] ft::FaultList transientCampaign() const {
+    ft::FaultList faults;
+    const ft::FaultList sets = ft::allSetFaults(n);
+    for (const std::uint64_t cycle : {5u, 17u, 33u}) {
+      for (ft::Fault f : sets) {
+        f.cycle = cycle;
+        faults.push_back(f);
+      }
+    }
+    ft::FaultList seus = ft::allSeuFaults(n);
+    for (ft::Fault f : seus) {
+      f.cycle = 9;
+      faults.push_back(f);
+    }
+    return faults;
+  }
+};
+
+std::vector<nl::NetId> observedNets(const ij::InjectionEnvironment& env) {
+  std::vector<nl::NetId> nets = env.obsNets;
+  nets.insert(nets.end(), env.alarmNets.begin(), env.alarmNets.end());
+  return nets;
+}
+
+bool sameRecord(const ij::InjectionRecord& a, const ij::InjectionRecord& b) {
+  return a.fault == b.fault && a.zone == b.zone && a.outcome == b.outcome &&
+         a.obs.sens == b.obs.sens && a.obs.sensCycle == b.obs.sensCycle &&
+         a.obs.obs == b.obs.obs && a.obs.firstObsCycle == b.obs.firstObsCycle &&
+         a.obs.diag == b.obs.diag && a.obs.diagCycle == b.obs.diagCycle &&
+         a.obs.zonesDeviated == b.obs.zonesDeviated &&
+         a.obs.obsDeviated == b.obs.obsDeviated;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// abstraction plan
+// ---------------------------------------------------------------------------
+
+TEST(AbstractionTest, EveryFaultLandsInExactlyOneBucket) {
+  Testbed tb;
+  const nl::CompiledDesignPtr cd = nl::compile(tb.n);
+  const ft::FaultList faults = tb.transientCampaign();
+  ft::AbstractionOptions ao;
+  ao.observedNets = observedNets(tb.env());
+  const ft::AbstractionMap map = ft::abstractTransients(*cd, faults, ao);
+
+  std::set<std::size_t> seen;
+  for (const ft::AbstractClass& c : map.classes) {
+    for (const std::size_t s : c.sources) EXPECT_TRUE(seen.insert(s).second);
+  }
+  for (const std::size_t s : map.escalated) {
+    EXPECT_TRUE(seen.insert(s).second);
+  }
+  for (const std::size_t s : map.noEffect) {
+    EXPECT_TRUE(seen.insert(s).second);
+  }
+  EXPECT_EQ(seen.size(), faults.size());
+  EXPECT_EQ(map.setSources + map.passthrough + map.escalated.size() +
+                map.noEffect.size(),
+            faults.size());
+}
+
+TEST(AbstractionTest, PlanMatchesConeReference) {
+  // Differential check of the routing policy: recompute every SET's
+  // frontier with combFrontier directly and verify the plan put the fault
+  // where the policy says it belongs.
+  Testbed tb;
+  const nl::CompiledDesignPtr cd = nl::compile(tb.n);
+  const ft::FaultList faults = tb.transientCampaign();
+  const std::vector<nl::NetId> obsNets = observedNets(tb.env());
+  ft::AbstractionOptions ao;
+  ao.observedNets = obsNets;
+  const ft::AbstractionMap map = ft::abstractTransients(*cd, faults, ao);
+
+  std::vector<int> bucket(faults.size(), -1);  // 0 class, 1 escalated, 2 ne
+  for (const ft::AbstractClass& c : map.classes) {
+    for (const std::size_t s : c.sources) bucket[s] = 0;
+  }
+  for (const std::size_t s : map.escalated) bucket[s] = 1;
+  for (const std::size_t s : map.noEffect) bucket[s] = 2;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ft::Fault& f = faults[i];
+    if (f.kind != ft::FaultKind::SetPulse) {
+      EXPECT_EQ(bucket[i], 0) << "non-SET transients pass through";
+      continue;
+    }
+    const nl::CombFrontier fr = nl::combFrontier(*cd, {f.net});
+    const bool obsTouch =
+        std::any_of(obsNets.begin(), obsNets.end(),
+                    [&](nl::NetId n) { return fr.reach.netReached(n); });
+    if (fr.reachesMemory || obsTouch) {
+      EXPECT_EQ(bucket[i], 1) << ft::faultKey(tb.n, f);
+    } else if (fr.ffs.empty()) {
+      EXPECT_EQ(bucket[i], 2) << ft::faultKey(tb.n, f);
+    } else {
+      EXPECT_EQ(bucket[i], 0) << ft::faultKey(tb.n, f);
+    }
+  }
+  // The testbed has both kinds of cone, so both paths were exercised.
+  EXPECT_FALSE(map.classes.empty());
+  EXPECT_FALSE(map.escalated.empty());
+}
+
+TEST(AbstractionTest, SetsSharingAFrontierDedupIntoOneClass) {
+  Testbed tb;
+  const nl::CompiledDesignPtr cd = nl::compile(tb.n);
+  // The parity tree of din is 3 XOR gates all feeding preg only: at one
+  // cycle they collapse into ONE MultiSeu class {preg}.
+  ft::FaultList sets;
+  for (ft::Fault f : ft::allSetFaults(tb.n)) {
+    f.cycle = 11;
+    sets.push_back(f);
+  }
+  ft::AbstractionOptions ao;
+  ao.observedNets = observedNets(tb.env());
+  const ft::AbstractionMap map = ft::abstractTransients(*cd, sets, ao);
+  ASSERT_FALSE(map.classes.empty());
+  const nl::CellId preg = *tb.n.findCell("preg");
+  bool foundPregClass = false;
+  for (const ft::AbstractClass& c : map.classes) {
+    ASSERT_EQ(c.fault.kind, ft::FaultKind::MultiSeu);
+    EXPECT_EQ(c.fault.cycle, 12u);  // latched at the injection cycle's edge
+    EXPECT_TRUE(std::is_sorted(c.fault.cells.begin(), c.fault.cells.end()));
+    if (c.fault.cells == std::vector<nl::CellId>{preg}) {
+      foundPregClass = true;
+      EXPECT_GE(c.sources.size(), 3u) << "xor tree should collapse";
+    }
+  }
+  EXPECT_TRUE(foundPregClass);
+  EXPECT_LT(map.classes.size(), sets.size() - map.escalated.size())
+      << "dedup must shrink the sweep";
+}
+
+TEST(AbstractionTest, FrontierCapEscalates) {
+  // in -> buf -> two parallel FFs: frontier size 2.  maxFrontier = 1 must
+  // route the SET to the exact tier instead of abstracting it.
+  nl::Netlist n("cap");
+  nl::Builder b(n);
+  const nl::NetId in = b.input("in");
+  const nl::NetId g = b.bbuf(in);
+  b.dff("fa", g);
+  b.dff("fb", g);
+  n.check();
+  const nl::CompiledDesignPtr cd = nl::compile(n);
+  ft::Fault f;
+  f.kind = ft::FaultKind::SetPulse;
+  f.net = g;
+  f.cycle = 3;
+  ft::FaultList faults;
+  faults.push_back(f);
+
+  ft::AbstractionOptions wide;
+  const ft::AbstractionMap ok = ft::abstractTransients(*cd, faults, wide);
+  ASSERT_EQ(ok.classes.size(), 1u);
+  EXPECT_EQ(ok.classes[0].fault.cells.size(), 2u);
+
+  ft::AbstractionOptions capped;
+  capped.maxFrontier = 1;
+  const ft::AbstractionMap esc = ft::abstractTransients(*cd, faults, capped);
+  EXPECT_TRUE(esc.classes.empty());
+  ASSERT_EQ(esc.escalated.size(), 1u);
+  EXPECT_EQ(esc.escalated[0], 0u);
+}
+
+TEST(AbstractionTest, ObservedConeEscalatesAndEmptyObservedMeansOutputs) {
+  // g feeds an output port directly: with the default observed set (every
+  // primary output) it escalates; with an explicit observed set elsewhere
+  // its frontier is empty -> provably NoEffect shortcut.
+  nl::Netlist n("obs");
+  nl::Builder b(n);
+  const nl::NetId in = b.input("in");
+  const nl::NetId g = b.bnot(in);
+  b.output("out", g);
+  const nl::NetId h = b.band(in, in);
+  b.dff("ff", h);
+  n.check();
+  const nl::CompiledDesignPtr cd = nl::compile(n);
+  ft::Fault f;
+  f.kind = ft::FaultKind::SetPulse;
+  f.net = g;
+  f.cycle = 1;
+  ft::FaultList faults;
+  faults.push_back(f);
+
+  const ft::AbstractionMap dflt = ft::abstractTransients(*cd, faults, {});
+  ASSERT_EQ(dflt.escalated.size(), 1u);
+
+  ft::AbstractionOptions elsewhere;
+  elsewhere.observedNets = {h};
+  const ft::AbstractionMap ne = ft::abstractTransients(*cd, faults, elsewhere);
+  EXPECT_TRUE(ne.escalated.empty());
+  ASSERT_EQ(ne.noEffect.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MultiSeu serialization + provenance keys
+// ---------------------------------------------------------------------------
+
+TEST(MultiSeuSerializeTest, JsonRoundTripPreservesTheFault) {
+  Testbed tb;
+  ft::Fault f;
+  f.kind = ft::FaultKind::MultiSeu;
+  f.cells = {*tb.n.findCell("preg"), *tb.n.findCell("spare")};
+  std::sort(f.cells.begin(), f.cells.end());
+  f.cycle = 7;
+  const auto back = ft::faultFromJson(tb.n, ft::faultToJson(tb.n, f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(f == *back);
+  EXPECT_EQ(ft::faultKey(tb.n, f), ft::faultKey(tb.n, *back));
+}
+
+TEST(MultiSeuSerializeTest, KeyIsStableAcrossReparseRenumbering) {
+  // The text format may renumber ids on the first round trip; the key is
+  // name-based, so rebinding the fault on the reparsed design must yield
+  // the identical provenance key.
+  Testbed tb;
+  ft::Fault f;
+  f.kind = ft::FaultKind::MultiSeu;
+  f.cells = {*tb.n.findCell("dreg_0"), *tb.n.findCell("preg")};
+  std::sort(f.cells.begin(), f.cells.end());
+  f.cycle = 4;
+  const std::string key = ft::faultKey(tb.n, f);
+
+  const nl::Netlist re =
+      nl::readNetlistString(nl::writeNetlistString(tb.n));
+  const auto rebound = ft::faultFromJson(re, ft::faultToJson(tb.n, f));
+  ASSERT_TRUE(rebound.has_value());
+  EXPECT_EQ(ft::faultKey(re, *rebound), key);
+}
+
+TEST(MultiSeuSerializeTest, ReabstractionKeepsTheClassKeys) {
+  // Delta-campaign precondition: abstracting the same transient list again
+  // (same design, or its reparsed twin) must reproduce the same class
+  // faults with the same keys — that is what lets a second flow iteration
+  // reuse abstract-sweep verdicts content-addressed by those keys.
+  Testbed tb;
+  const nl::CompiledDesignPtr cd = nl::compile(tb.n);
+  const ft::FaultList faults = tb.transientCampaign();
+  ft::AbstractionOptions ao;
+  ao.observedNets = observedNets(tb.env());
+
+  const auto keysOf = [](const nl::Netlist& n, const ft::AbstractionMap& m) {
+    std::vector<std::string> keys;
+    keys.reserve(m.classes.size());
+    for (const ft::AbstractClass& c : m.classes) {
+      keys.push_back(ft::faultKey(n, c.fault));
+    }
+    return keys;
+  };
+  const ft::AbstractionMap a = ft::abstractTransients(*cd, faults, ao);
+  const ft::AbstractionMap b = ft::abstractTransients(*cd, faults, ao);
+  EXPECT_EQ(keysOf(tb.n, a), keysOf(tb.n, b));
+
+  // Same list, reparsed design: rebind the SET sites by key, re-abstract,
+  // compare the class key *sets* (id order may differ after renumbering).
+  const nl::Netlist re = nl::readNetlistString(nl::writeNetlistString(tb.n));
+  const nl::CompiledDesignPtr recd = nl::compile(re);
+  ft::FaultList reFaults;
+  for (const ft::Fault& f : faults) {
+    const auto rb = ft::faultFromJson(re, ft::faultToJson(tb.n, f));
+    ASSERT_TRUE(rb.has_value());
+    reFaults.push_back(*rb);
+  }
+  ft::AbstractionOptions reAo;
+  for (const nl::NetId n0 : ao.observedNets) {
+    const auto id = re.findNet(tb.n.net(n0).name);
+    ASSERT_TRUE(id.has_value());
+    reAo.observedNets.push_back(*id);
+  }
+  const ft::AbstractionMap c = ft::abstractTransients(*recd, reFaults, reAo);
+  const std::vector<std::string> aKeys = keysOf(tb.n, a);
+  std::set<std::string> want(aKeys.begin(), aKeys.end());
+  std::set<std::string> got;
+  for (const ft::AbstractClass& cls : c.classes) {
+    got.insert(ft::faultKey(re, cls.fault));
+  }
+  EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// tiered campaign
+// ---------------------------------------------------------------------------
+
+TEST(TieredCampaignTest, TierModeNamesRoundTrip) {
+  for (const ij::TierMode m :
+       {ij::TierMode::Exact, ij::TierMode::Abstract, ij::TierMode::Auto}) {
+    const auto back = ij::tierModeFromName(ij::tierModeName(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(ij::tierModeFromName("fast").has_value());
+}
+
+TEST(TieredCampaignTest, ExactModeIsTheIdentity) {
+  Testbed tb;
+  ij::InjectionManager mgr(tb.n, tb.env());
+  auto wl = tb.workload(64);
+  const ft::FaultList faults = tb.transientCampaign();
+
+  const ij::CampaignResult flat = mgr.run(wl, faults);
+  ij::TierOptions topt;  // Exact by default
+  const ij::TieredResult tiered =
+      ij::runTieredCampaign(mgr, wl, faults, topt);
+  EXPECT_FALSE(tiered.abstracted);
+  ASSERT_EQ(tiered.merged.records.size(), flat.records.size());
+  for (std::size_t i = 0; i < flat.records.size(); ++i) {
+    EXPECT_TRUE(sameRecord(tiered.merged.records[i], flat.records[i])) << i;
+  }
+  const auto [sffLo, sffHi] = tiered.sffInterval();
+  EXPECT_EQ(sffLo, sffHi);
+}
+
+TEST(TieredCampaignTest, FullyAuditedAbstractRunEqualsTheExactVerdicts) {
+  // auditFraction = 1 re-runs every accepted class's sources exactly, and
+  // audited sources keep their exact records in the merge — so the merged
+  // campaign must agree with the flat exact walk on every source fault.
+  // This is the differential oracle for the whole plan/execute/escalate/
+  // merge pipeline (no-effect shortcuts included: they are *not* re-run,
+  // so any unsound shortcut shows up as a record mismatch here).
+  Testbed tb;
+  ij::InjectionManager mgr(tb.n, tb.env());
+  auto wl = tb.workload(64);
+  const ft::FaultList faults = tb.transientCampaign();
+
+  const ij::CampaignResult flat = mgr.run(wl, faults);
+  ij::TierOptions topt;
+  topt.mode = ij::TierMode::Abstract;
+  topt.auditFraction = 1.0;
+  ij::CoverageCollector cov(mgr.environment());
+  const ij::TieredResult tiered =
+      ij::runTieredCampaign(mgr, wl, faults, topt, &cov);
+  EXPECT_TRUE(tiered.abstracted);
+  ASSERT_EQ(tiered.merged.records.size(), flat.records.size());
+  for (std::size_t i = 0; i < flat.records.size(); ++i) {
+    EXPECT_TRUE(sameRecord(tiered.merged.records[i], flat.records[i]))
+        << i << " " << ft::faultKey(tb.n, faults[i]);
+  }
+  EXPECT_EQ(tiered.tiers.sourceFaults, faults.size());
+  EXPECT_GT(tiered.tiers.abstractClasses, 0u);
+  EXPECT_EQ(tiered.tiers.auditChecked, tiered.tiers.auditAgreed)
+      << "a sound abstraction must agree on this testbed";
+  EXPECT_EQ(tiered.tiers.agreement(), 1.0);
+}
+
+TEST(TieredCampaignTest, StatsPartitionAndJsonShape) {
+  Testbed tb;
+  ij::InjectionManager mgr(tb.n, tb.env());
+  auto wl = tb.workload(64);
+  const ft::FaultList faults = tb.transientCampaign();
+  ij::TierOptions topt;
+  topt.mode = ij::TierMode::Abstract;
+  topt.auditFraction = 0.0;
+  const ij::TieredResult r = ij::runTieredCampaign(mgr, wl, faults, topt);
+  EXPECT_EQ(r.merged.records.size(), faults.size());
+  EXPECT_LE(r.tiers.escalationRate(), 1.0);
+  EXPECT_EQ(r.tiers.agreement(), 1.0);  // zero samples: degenerate envelope
+
+  const socfmea::obs::Json j = r.tiersJson();
+  for (const char* key :
+       {"mode", "source_faults", "abstract_classes", "escalated_faults",
+        "escalation_rate", "agreement", "sff_low", "sff_high", "ddf_low",
+        "ddf_high", "abstracted"}) {
+    EXPECT_NE(j.find(key), nullptr) << key;
+  }
+  const auto [lo, hi] = r.sffInterval();
+  EXPECT_LE(lo, hi);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(TieredCampaignTest, AutoFallsBackWhenThereIsNoDedupWin) {
+  // A pure-SEU list has one singleton passthrough class per fault — no
+  // dedup.  Auto must then run the flat exact walk (abstracted = false).
+  Testbed tb;
+  ij::InjectionManager mgr(tb.n, tb.env());
+  auto wl = tb.workload(64);
+  ft::FaultList seus;
+  for (ft::Fault f : ft::allSeuFaults(tb.n)) {
+    f.cycle = 9;
+    seus.push_back(f);
+  }
+  ij::TierOptions topt;
+  topt.mode = ij::TierMode::Auto;
+  const ij::TieredResult r = ij::runTieredCampaign(mgr, wl, seus, topt);
+  EXPECT_FALSE(r.abstracted);
+  const ij::CampaignResult flat = mgr.run(wl, seus);
+  ASSERT_EQ(r.merged.records.size(), flat.records.size());
+  for (std::size_t i = 0; i < flat.records.size(); ++i) {
+    EXPECT_TRUE(sameRecord(r.merged.records[i], flat.records[i])) << i;
+  }
+}

@@ -372,6 +372,52 @@ TEST(IncrementalOracleTest, SecondIdenticalRunIsAFullStoreHit) {
   EXPECT_EQ(sffA, sffB);
 }
 
+// The tiered flow swaps the flat campaign stage for the "abstract_sweep" +
+// "escalation" content-addressed pair.  This zone-failure campaign carries
+// no gate-level SETs, so every class is a passthrough or a structural
+// escalation and the merged records must equal the exact flow bit-for-bit;
+// a second identical run must bind everything from the store with the
+// campaign.tiers block intact.
+TEST(IncrementalOracleTest, TieredFlowMatchesExactAndStoreHitKeepsTiers) {
+  const ms::GateLevelDesign v1 =
+      ms::buildProtectionIp(ms::GateLevelOptions::v1());
+  const auto runTiered = [&](core::ArtifactStore* store, double* sff) {
+    core::IncrementalOptions iopt = oracleOptions(store);
+    iopt.tier.mode = inject::TierMode::Abstract;
+    core::IncrementalFlow inc(v1.nl, core::makeFrmemFlowConfig(v1), iopt);
+    ms::ProtectionIpWorkload::Options wopt;
+    wopt.cycles = kOracleCycles;
+    ms::ProtectionIpWorkload wl(v1, wopt);
+    core::IncrementalCampaign camp =
+        inc.runZoneFailureCampaign(wl, /*perBit=*/1, /*seed=*/7,
+                                   /*detectionWindow=*/24);
+    if (sff != nullptr) *sff = inc.flow().sff();
+    return camp;
+  };
+
+  core::ArtifactStore store(freshDir("tiered-hit"));
+  double sffTiered = 0.0;
+  const core::IncrementalCampaign cold = runTiered(&store, &sffTiered);
+  EXPECT_TRUE(cold.tieredRun);
+  EXPECT_FALSE(cold.fullHit);
+  ASSERT_TRUE(cold.tiers.isObject());
+  const Json* classes = cold.tiers.find("abstract_classes");
+  ASSERT_NE(classes, nullptr);
+  EXPECT_GT(classes->asInt(), 0);
+
+  double sffExact = 0.0;
+  const core::IncrementalCampaign exact = runOracleFlow(v1, nullptr, &sffExact);
+  expectSameRecords(exact.result, cold.result);
+  EXPECT_EQ(sffExact, sffTiered);
+
+  const core::IncrementalCampaign warm = runTiered(&store, nullptr);
+  EXPECT_TRUE(warm.tieredRun);
+  EXPECT_TRUE(warm.fullHit);
+  EXPECT_EQ(warm.delta.reused, warm.delta.total);
+  expectSameRecords(cold.result, warm.result);
+  EXPECT_EQ(cold.tiers.dump(0), warm.tiers.dump(0));
+}
+
 // ---------------------------------------------------------------------------
 // Testkit fuzz hook: cone-based verdict reuse on random mutated designs.
 
