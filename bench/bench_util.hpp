@@ -79,6 +79,11 @@ class JsonDump {
     doc_[key] = socfmea::obs::Json(v);
     return *this;
   }
+  // Structured sub-documents (arrays of per-scenario objects etc.).
+  JsonDump& field(const std::string& key, socfmea::obs::Json v) {
+    doc_[key] = std::move(v);
+    return *this;
+  }
 
   /// Writes the accumulated fields; returns false (and warns) on IO error.
   bool write() const {

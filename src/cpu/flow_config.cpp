@@ -7,6 +7,28 @@ using fmea::FmeaSheet;
 using fmea::FreqClass;
 using fmea::SdFactors;
 
+namespace {
+
+/// FNV-1a fingerprint of everything the configureSheet hook depends on, so
+/// sheet artifacts from different scenario configs never alias.
+std::uint64_t configTagOf(const CpuOptions& o, int mitigation) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ull;
+  };
+  mix(o.lockstep ? 1 : 0);
+  mix(o.stl ? 2 : 0);
+  mix(o.trap ? 4 : 0);
+  mix(o.skewCycles);
+  mix(o.fallback ? 8 : 0);
+  mix(o.minimalObs ? 16 : 0);
+  for (std::uint8_t b : o.program) mix(b);
+  mix(static_cast<std::uint64_t>(mitigation) + 0x9e37u);
+  return h;
+}
+
+}  // namespace
+
 core::FlowConfig makeCpuFlowConfig(const CpuDesign& design) {
   core::FlowConfig cfg;
   cfg.alarmNames = design.alarmNames;
@@ -70,6 +92,55 @@ core::FlowConfig makeCpuFlowConfig(const CpuDesign& design) {
       sheet.addClaim("prog/rom", "", DiagnosticClaim{"rom-crc", 0.90});
     }
   };
+  cfg.configTag = configTagOf(opt, -1);
+  return cfg;
+}
+
+core::FlowConfig makeMitigationFlowConfig(const CpuDesign& design,
+                                          SwMitigation mitigation) {
+  core::FlowConfig cfg = makeCpuFlowConfig(design);
+  const CpuOptions opt = design.options;
+  auto base = cfg.configureSheet;
+  cfg.configureSheet = [base, opt, mitigation](FmeaSheet& sheet,
+                                               const zones::ZoneDatabase& db) {
+    base(sheet, db);
+    if (opt.trap) {
+      // The trap decode/latch is diagnostic logic, like the lockstep
+      // checker: a fault there loses the annunciation channel, it does not
+      // corrupt the mission function.
+      sheet.setSafeFactors("trapchk", SdFactors{0.95, 0.0});
+    }
+    switch (mitigation) {
+      case SwMitigation::None:
+        break;
+      case SwMitigation::Tmr:
+        // No annunciation channel: triplicated stores plus timing-neutral
+        // voted loads convert register corruption into masking, claimed as
+        // a raised safe fraction, never as DC.
+        sheet.setSafeFactors("cpu0/r", SdFactors{0.70, 0.0});
+        break;
+      case SwMitigation::Dwc:
+        // Reciprocal comparison guards the duplicated pair r0/r1 in the
+        // store-to-next-load window; r2 is unguarded scratch.
+        for (const char* mode : {"cpu-reg-dc", "cpu-seu"}) {
+          sheet.addClaim("cpu0/r0", mode,
+                         DiagnosticClaim{"cpu-reciprocal-compare", 0.85});
+          sheet.addClaim("cpu0/r1", mode,
+                         DiagnosticClaim{"cpu-reciprocal-compare", 0.85});
+        }
+        break;
+      case SwMitigation::Cfcss:
+        // Signatures see inter-block edges only — intra-block wild jumps
+        // escape, so the claim stays below the Annex A "medium" ceiling.
+        sheet.addClaim("cpu0/pc", "cpu-seu", DiagnosticClaim{"cfcss", 0.70});
+        sheet.addClaim("cpu0/pc", "cpu-crossover",
+                       DiagnosticClaim{"cfcss", 0.70});
+        sheet.addClaim("cpu0/branch_condition", "",
+                       DiagnosticClaim{"cfcss", 0.60});
+        break;
+    }
+  };
+  cfg.configTag = configTagOf(opt, static_cast<int>(mitigation));
   return cfg;
 }
 

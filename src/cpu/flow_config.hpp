@@ -7,13 +7,25 @@
 //   lockstep   "comparator" (Annex A.4, max DC high) on every core zone;
 //   + stl      "self-test by software" on permanent modes, and a CRC claim
 //              on the program ROM.
+//
+// makeMitigationFlowConfig extends the same configuration with the
+// software-mitigation claims of the scenario suite (cpu/scenarios.hpp):
+// TMR as a masking (S-factor) claim on the register file, DWC as the
+// "reciprocal comparison by software" claim on the duplicated registers,
+// CFCSS as the program-sequence claim on the PC and the branch-condition
+// logical entity.  The claims are deliberately modest — the injection
+// campaign, not the Annex A table, is the evidence for software DC.
 #pragma once
 
 #include "core/flow.hpp"
 #include "cpu/gatelevel.hpp"
+#include "cpu/mitigations.hpp"
 
 namespace socfmea::cpu {
 
 [[nodiscard]] core::FlowConfig makeCpuFlowConfig(const CpuDesign& design);
+
+[[nodiscard]] core::FlowConfig makeMitigationFlowConfig(
+    const CpuDesign& design, SwMitigation mitigation);
 
 }  // namespace socfmea::cpu

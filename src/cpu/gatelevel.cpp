@@ -1,6 +1,7 @@
 #include "cpu/gatelevel.hpp"
 
 #include <array>
+#include <stdexcept>
 
 namespace socfmea::cpu {
 
@@ -32,9 +33,32 @@ void wireQ(Builder& b, netlist::Netlist& nl, std::string_view name,
   }
 }
 
+// Synthesizes one ROM data bit as a balanced mux tree over the address bus
+// with constant leaves; uniform subtrees collapse to a single constant (the
+// HALT padding region costs nothing).
+NetId lutBit(Builder& b, const Bus& addr, const std::vector<std::uint8_t>& img,
+             std::size_t bit, std::size_t lo, std::size_t span) {
+  bool uniform = true;
+  const bool first = ((img[lo] >> bit) & 1u) != 0;
+  for (std::size_t i = 1; i < span; ++i) {
+    if ((((img[lo + i] >> bit) & 1u) != 0) != first) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) return b.constNet(first);
+  const std::size_t half = span / 2;
+  // The selecting address bit is log2(span) - 1.
+  std::size_t selBit = 0;
+  for (std::size_t s = span; s > 2; s /= 2) ++selBit;
+  const NetId a = lutBit(b, addr, img, bit, lo, half);
+  const NetId c = lutBit(b, addr, img, bit, lo + half, half);
+  return b.bmux(addr[selBit], a, c);
+}
+
 // Builds one core inside the current scope; `instr` is the fetched byte.
 CoreHandles buildCore(Builder& b, netlist::Netlist& nl, NetId rst,
-                      const Bus& instr) {
+                      const Bus& instr, bool trapOpt) {
   CoreHandles h;
 
   // State registers (Q nets first — the datapath loops through them).
@@ -71,6 +95,10 @@ CoreHandles buildCore(Builder& b, netlist::Netlist& nl, NetId rst,
   const NetId isOut = is(Op::Out);
   const NetId isJmp = is(Op::Jmp);
   const NetId isHalt = is(Op::Halt);
+  // TRAP decodes only on trap-enabled designs; elsewhere the opcode stays a
+  // NOP and the default netlist is untouched.
+  const NetId isTrap = trapOpt ? is(Op::Trap) : kNoNet;
+  const NetId stop = trapOpt ? b.bor(isHalt, isTrap) : isHalt;
 
   // Register-file read port.
   const Bus m01 = b.muxBus(rsel[0], regQ[0], regQ[1]);
@@ -119,64 +147,97 @@ CoreHandles buildCore(Builder& b, netlist::Netlist& nl, NetId rst,
   const NetId takeBranch =
       b.bor(isJmp, b.band(isJnz, b.bnot(zQ)));
   const Bus pcNext = b.muxBus(takeBranch, pcPlus1, target);
-  const NetId pcEn = b.band(exec, b.bnot(isHalt));
+  const NetId pcEn = b.band(exec, b.bnot(stop));
   wireQ(b, nl, "pc", pcQ, pcNext, pcEn, rst);
 
-  // OUT port and the sticky halted flag.
+  // OUT port and the sticky halted flag (TRAP halts like HALT).
   wireQ(b, nl, "out", outQ, accQ, b.band(exec, isOut), rst);
-  nl.addDff(b.qualify("halted"), b.bor(haltQ, b.band(exec, isHalt)), haltQ,
+  nl.addDff(b.qualify("halted"), b.bor(haltQ, b.band(exec, stop)), haltQ,
             kNoNet, rst, false);
 
   h.pc = pcQ;
   h.acc = accQ;
   h.out = outQ;
   h.halted = haltQ;
+  if (trapOpt) h.trapEvent = b.band(exec, isTrap);
   return h;
 }
 
 }  // namespace
 
 CpuDesign buildTinyCpu(const CpuOptions& opt) {
+  if (opt.skewCycles > 1) {
+    throw std::invalid_argument("buildTinyCpu: skewCycles must be 0 or 1");
+  }
+  if (!opt.lockstep && (opt.skewCycles != 0 || opt.fallback)) {
+    throw std::invalid_argument(
+        "buildTinyCpu: skew/fallback require the lockstep option");
+  }
   CpuDesign d;
   d.options = opt;
   d.nl.setName(opt.lockstep ? "tinycpu_lockstep" : "tinycpu_plain");
   Builder b(d.nl);
   d.rst = b.input("rst");
 
-  // Program memory: behavioural ROM (the workload loads the image through
-  // the deterministic backdoor; the write port is tied off).
+  const bool synthRom = !opt.program.empty();
   Bus memRdata(kWordBits);
   Bus memAddrStub(kProgAddrBits);
   {
     Builder::Scope s(b, "prog");
+    // The address port is wired to core0's PC after the core exists; use
+    // placeholder nets closed below.
     for (std::uint32_t i = 0; i < kWordBits; ++i) {
       memRdata[i] = d.nl.addNet(b.qualify("rdata_" + std::to_string(i)));
     }
-    // The address port is wired to core0's PC after the core exists; use
-    // placeholder nets closed below.
     for (std::uint32_t i = 0; i < kProgAddrBits; ++i) {
       memAddrStub[i] = d.nl.addNet(b.qualify("addr_" + std::to_string(i)));
     }
-    netlist::MemoryInst m;
-    m.name = "prog/rom";
-    m.addrBits = kProgAddrBits;
-    m.dataBits = kWordBits;
-    m.addr = memAddrStub;
-    m.wdata = b.constBus(0, kWordBits);
-    m.rdata = memRdata;
-    m.writeEnable = b.constNet(false);
-    d.nl.addMemory(std::move(m));
+    if (synthRom) {
+      // Program as combinational LUT logic: self-contained, text
+      // round-trippable, no backdoor needed.  The named rdata nets are the
+      // LUT roots (so flow configs can reference prog/rdata_*).
+      const auto img = padProgram(opt.program);
+      for (std::size_t bit = 0; bit < kWordBits; ++bit) {
+        const NetId root = lutBit(b, memAddrStub, img, bit, 0, img.size());
+        d.nl.addCell(netlist::CellType::Buf,
+                     b.qualify("rdata_buf_" + std::to_string(bit)), {root},
+                     memRdata[bit]);
+      }
+    } else {
+      netlist::MemoryInst m;
+      m.name = "prog/rom";
+      m.addrBits = kProgAddrBits;
+      m.dataBits = kWordBits;
+      m.addr = memAddrStub;
+      m.wdata = b.constBus(0, kWordBits);
+      m.rdata = memRdata;
+      m.writeEnable = b.constNet(false);
+      d.nl.addMemory(std::move(m));
+    }
+  }
+
+  // Skewed lockstep: the checker consumes the fetch stream one cycle late
+  // and comes out of reset one cycle later, so its state trajectory is the
+  // master's delayed by one cycle.
+  Bus instr1 = memRdata;
+  NetId rst1 = d.rst;
+  const bool skewed = opt.lockstep && opt.skewCycles == 1;
+  if (skewed) {
+    Builder::Scope s(b, "skew");
+    instr1 = b.registerBus("instr_d", memRdata, kNoNet, d.rst);
+    const NetId rstHold = b.dff("rst_hold", d.rst, kNoNet, kNoNet, true);
+    rst1 = b.bor(d.rst, rstHold);
   }
 
   CoreHandles c0;
   CoreHandles c1;
   {
     Builder::Scope s(b, "cpu0");
-    c0 = buildCore(b, d.nl, d.rst, memRdata);
+    c0 = buildCore(b, d.nl, d.rst, memRdata, opt.trap);
   }
   if (opt.lockstep) {
     Builder::Scope s(b, "cpu1");
-    c1 = buildCore(b, d.nl, d.rst, memRdata);
+    c1 = buildCore(b, d.nl, rst1, instr1, opt.trap);
   }
   d.core0 = c0;
 
@@ -186,28 +247,59 @@ CpuDesign buildTinyCpu(const CpuOptions& opt) {
                  {c0.pc[i]}, memAddrStub[i]);
   }
 
-  // Lockstep comparator: PC, ACC and OUT of the two channels must agree.
+  // Lockstep comparator: PC, ACC and OUT of the two channels must agree
+  // (the master's state delayed by the skew for a skewed checker).
   if (opt.lockstep) {
     Builder::Scope s(b, "lockchk");
+    Bus pc0 = c0.pc;
+    Bus acc0 = c0.acc;
+    Bus out0 = c0.out;
+    if (skewed) {
+      pc0 = b.registerBus("pc_d", c0.pc, kNoNet, d.rst);
+      acc0 = b.registerBus("acc_d", c0.acc, kNoNet, d.rst);
+      out0 = b.registerBus("out_d", c0.out, kNoNet, d.rst);
+    }
     Bus cmp;
-    for (std::size_t i = 0; i < c0.pc.size(); ++i) {
-      cmp.push_back(b.bxor(c0.pc[i], c1.pc[i]));
+    for (std::size_t i = 0; i < pc0.size(); ++i) {
+      cmp.push_back(b.bxor(pc0[i], c1.pc[i]));
     }
-    for (std::size_t i = 0; i < c0.acc.size(); ++i) {
-      cmp.push_back(b.bxor(c0.acc[i], c1.acc[i]));
+    for (std::size_t i = 0; i < acc0.size(); ++i) {
+      cmp.push_back(b.bxor(acc0[i], c1.acc[i]));
     }
-    for (std::size_t i = 0; i < c0.out.size(); ++i) {
-      cmp.push_back(b.bxor(c0.out[i], c1.out[i]));
+    for (std::size_t i = 0; i < out0.size(); ++i) {
+      cmp.push_back(b.bxor(out0[i], c1.out[i]));
     }
     const NetId mismatch = b.reduceOr(cmp);
     const NetId alarmQ = b.dff("alarm_r", mismatch, kNoNet, d.rst, false);
     b.output("alarm_lock", alarmQ);
     d.alarmNames.push_back("alarm_lock");
+    if (opt.fallback) {
+      // Degrade-to-single-core: latches on the first miscompare and never
+      // releases (the momentary alarm_r drops when the divergence washes
+      // out; the fallback decision must not).
+      const NetId fbQ = d.nl.addNet(b.qualify("fallback_q"));
+      d.nl.addDff(b.qualify("fallback"), b.bor(fbQ, mismatch), fbQ, kNoNet,
+                  d.rst, false);
+      b.output("fallback_active", fbQ);
+    }
+  }
+
+  // TRAP annunciation: sticky alarm over either core's trap event.
+  if (opt.trap) {
+    Builder::Scope s(b, "trapchk");
+    NetId evt = c0.trapEvent;
+    if (opt.lockstep) evt = b.bor(evt, c1.trapEvent);
+    const NetId aQ = d.nl.addNet(b.qualify("alarm_q"));
+    d.nl.addDff(b.qualify("alarm"), b.bor(aQ, evt), aQ, kNoNet, d.rst, false);
+    b.output("alarm_trap", aQ);
+    d.alarmNames.push_back("alarm_trap");
   }
 
   b.outputBus("port", c0.out);
-  b.outputBus("pc_o", c0.pc);
-  b.output("halted", c0.halted);
+  if (!opt.minimalObs) {
+    b.outputBus("pc_o", c0.pc);
+    b.output("halted", c0.halted);
+  }
   d.nl.check();
   return d;
 }

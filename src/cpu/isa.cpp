@@ -15,6 +15,7 @@ std::string_view opName(Op op) noexcept {
     case Op::Jnz: return "jnz";
     case Op::Out: return "out";
     case Op::Jmp: return "jmp";
+    case Op::Trap: return "trap";
     case Op::Halt: return "halt";
   }
   return "?";

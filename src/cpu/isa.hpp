@@ -14,10 +14,19 @@
 //   JNZ  t       0x8t      if !Z: pc <- t*4
 //   OUT          0x9-      out <- acc
 //   JMP  t       0xAt      pc <- t*4
+//   TRAP         0xE-      safe halt: trap flag set, pc holds
 //   HALT         0xF-      pc holds
 //
 // Branch targets are quadword-aligned (t*4), covering the 64-word program
 // space with a 4-bit field.
+//
+// TRAP is the annunciation instruction the software mitigations
+// (cpu/mitigations.hpp) branch to when a duplicated-register compare or a
+// control-flow signature check fails: the ISS latches trapped(), and a
+// gate-level design built with CpuOptions::trap decodes it into the sticky
+// alarm_trap output.  On a design without the trap option the opcode
+// executes as a NOP (the pre-existing behaviour of the unused encodings), so
+// programs containing TRAP must run on trap-enabled designs.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,7 @@ enum class Op : std::uint8_t {
   Jnz = 0x8,
   Out = 0x9,
   Jmp = 0xA,
+  Trap = 0xE,
   Halt = 0xF,
 };
 

@@ -1,0 +1,493 @@
+#include "cpu/mitigations.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace socfmea::cpu {
+namespace {
+
+constexpr std::size_t kProgWords = std::size_t{1} << kProgAddrBits;
+constexpr std::size_t kNoLabel = static_cast<std::size_t>(-1);
+
+[[nodiscard]] bool setsZ(Op op) noexcept {
+  return op == Op::Add || op == Op::Sub || op == Op::Lda || op == Op::Xorr;
+}
+[[nodiscard]] bool isBranch(Op op) noexcept {
+  return op == Op::Jnz || op == Op::Jmp;
+}
+
+// Two-pass label assembler.  place(l) binds l to the next emitted
+// instruction; layout pads bound instructions to quadword boundaries (the
+// only addresses a 4-bit branch field can encode) with fall-through NOPs,
+// then patches branch operands to target-address/4.
+class ProgramAssembler {
+ public:
+  using Label = std::size_t;
+
+  [[nodiscard]] Label newLabel() {
+    bound_.push_back(kNoLabel);
+    return bound_.size() - 1;
+  }
+
+  void place(Label l) { pending_.push_back(l); }
+
+  void emit(Op op, std::uint8_t operand = 0) { push(op, operand, kNoLabel); }
+  void emitBranch(Op op, Label target) { push(op, 0, target); }
+
+  /// Lays out, patches and pads to the full program space.  Alignment gaps
+  /// get NOPs (execution falls through them); the unreachable tail gets
+  /// `fill` (TRAP for the detecting mitigations — the classic unused-memory
+  /// trap — HALT otherwise).  `span` reports the laid-out length.
+  [[nodiscard]] std::vector<std::uint8_t> finish(Op fill, std::size_t& span) {
+    if (!pending_.empty()) {
+      throw TransformError("assembler: label placed past the last instruction");
+    }
+    std::vector<std::size_t> addr(items_.size());
+    std::size_t a = 0;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].aligned) a = (a + 3) & ~std::size_t{3};
+      addr[i] = a++;
+    }
+    span = a;
+    if (a > kProgWords) {
+      throw TransformError("transformed program needs " + std::to_string(a) +
+                           " words; program space is " +
+                           std::to_string(kProgWords));
+    }
+    std::vector<std::uint8_t> image(kProgWords, encode(fill));
+    for (std::size_t i = 0; i + 1 < items_.size(); ++i) {
+      for (std::size_t g = addr[i] + 1; g < addr[i + 1]; ++g) {
+        image[g] = encode(Op::Nop);
+      }
+    }
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      std::uint8_t operand = items_[i].operand;
+      if (items_[i].branch != kNoLabel) {
+        const std::size_t bi = bound_[items_[i].branch];
+        if (bi == kNoLabel) throw TransformError("assembler: unplaced label");
+        const std::size_t t = addr[bi];
+        if (t % 4 != 0 || t / 4 > 15) {
+          throw TransformError("assembler: branch target misaligned");
+        }
+        operand = static_cast<std::uint8_t>(t / 4);
+      }
+      image[addr[i]] = encode(items_[i].op, operand);
+    }
+    return image;
+  }
+
+ private:
+  struct Item {
+    Op op;
+    std::uint8_t operand;
+    Label branch;
+    bool aligned;
+  };
+
+  void push(Op op, std::uint8_t operand, Label branch) {
+    const bool aligned = !pending_.empty();
+    for (Label l : pending_) bound_[l] = items_.size();
+    pending_.clear();
+    items_.push_back(Item{op, operand, branch, aligned});
+  }
+
+  std::vector<Item> items_;
+  std::vector<std::size_t> bound_;  // label -> item index
+  std::vector<Label> pending_;
+};
+
+/// Source index -> label for every branch-target index.
+[[nodiscard]] std::map<std::size_t, ProgramAssembler::Label> targetLabels(
+    const std::vector<std::uint8_t>& src, ProgramAssembler& as) {
+  std::map<std::size_t, ProgramAssembler::Label> labels;
+  for (std::uint8_t instr : src) {
+    if (isBranch(opOf(instr))) {
+      const std::size_t t = std::size_t{operandOf(instr)} * 4u;
+      if (labels.find(t) == labels.end()) labels.emplace(t, as.newLabel());
+    }
+  }
+  return labels;
+}
+
+[[nodiscard]] TransformedProgram transformTmr(
+    const std::vector<std::uint8_t>& src) {
+  ProgramAssembler as;
+  auto labels = targetLabels(src, as);
+  TransformStats st;
+  st.sourceInstructions = src.size();
+
+  // acc <- majority(r0, r1, r2).  Under at most one corrupted copy: if
+  // r0 == r1 both are clean, take r0; else the odd one out is r0 or r1, so
+  // r2 is clean.  Both arms are exactly two instructions, so a vote that
+  // detours through the minority arm retires the rest of the program on the
+  // same cycles as the golden run — masking is timing-neutral.  The final
+  // LDA sets Z from the voted value.
+  auto vote = [&] {
+    const auto diff = as.newLabel();
+    const auto join = as.newLabel();
+    as.emit(Op::Lda, 0);
+    as.emit(Op::Xorr, 1);
+    as.emitBranch(Op::Jnz, diff);
+    as.emit(Op::Lda, 0);
+    as.emitBranch(Op::Jmp, join);
+    as.place(diff);
+    as.emit(Op::Lda, 2);
+    as.emitBranch(Op::Jmp, join);
+    as.place(join);
+    ++st.checks;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (auto it = labels.find(i); it != labels.end()) as.place(it->second);
+    const Op op = opOf(src[i]);
+    const std::uint8_t n = operandOf(src[i]);
+    switch (op) {
+      case Op::Sta:
+        as.emit(Op::Sta, 0);
+        as.emit(Op::Sta, 1);
+        as.emit(Op::Sta, 2);
+        break;
+      case Op::Lda:
+        vote();
+        break;
+      case Op::Add:
+        as.emit(Op::Sta, 3);
+        vote();
+        as.emit(Op::Add, 3);
+        break;
+      case Op::Xorr:
+        as.emit(Op::Sta, 3);
+        vote();
+        as.emit(Op::Xorr, 3);
+        break;
+      case Op::Sub:
+        // acc - vote(r0): save acc, vote, compute vote - acc, then negate
+        // through 0 - r3.  The final SUB sets Z from acc - vote(r0).
+        as.emit(Op::Sta, 3);
+        vote();
+        as.emit(Op::Sub, 3);
+        as.emit(Op::Sta, 3);
+        as.emit(Op::Ldi, 0);
+        as.emit(Op::Ldhi, 0);
+        as.emit(Op::Sub, 3);
+        break;
+      case Op::Jnz:
+        as.emitBranch(Op::Jnz, labels.at(std::size_t{n} * 4u));
+        break;
+      case Op::Jmp:
+        as.emitBranch(Op::Jmp, labels.at(std::size_t{n} * 4u));
+        break;
+      default:
+        as.emit(op, n);
+        break;
+    }
+  }
+  TransformedProgram out;
+  out.stats = st;
+  out.image = as.finish(Op::Halt, out.stats.emittedInstructions);
+  return out;
+}
+
+[[nodiscard]] TransformedProgram transformDwc(
+    const std::vector<std::uint8_t>& src) {
+  ProgramAssembler as;
+  auto labels = targetLabels(src, as);
+  const auto trap = as.newLabel();
+  TransformStats st;
+  st.sourceInstructions = src.size();
+
+  // acc <- r0 ^ r1; mismatch branches to the TRAP handler.  Leaves acc = 0
+  // and Z set on the pass path.
+  auto compareOrTrap = [&] {
+    as.emit(Op::Lda, 0);
+    as.emit(Op::Xorr, 1);
+    as.emitBranch(Op::Jnz, trap);
+    ++st.checks;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (auto it = labels.find(i); it != labels.end()) as.place(it->second);
+    const Op op = opOf(src[i]);
+    const std::uint8_t n = operandOf(src[i]);
+    switch (op) {
+      case Op::Sta:
+        as.emit(Op::Sta, 0);
+        as.emit(Op::Sta, 1);
+        break;
+      case Op::Lda:
+        compareOrTrap();
+        as.emit(Op::Lda, 0);
+        break;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Xorr:
+        as.emit(Op::Sta, 2);
+        compareOrTrap();
+        as.emit(Op::Lda, 2);
+        as.emit(op, 0);
+        break;
+      case Op::Jnz:
+        as.emitBranch(Op::Jnz, labels.at(std::size_t{n} * 4u));
+        break;
+      case Op::Jmp:
+        as.emitBranch(Op::Jmp, labels.at(std::size_t{n} * 4u));
+        break;
+      default:
+        as.emit(op, n);
+        break;
+    }
+  }
+  as.place(trap);
+  as.emit(Op::Trap);
+  TransformedProgram out;
+  out.stats = st;
+  out.image = as.finish(Op::Trap, out.stats.emittedInstructions);
+  return out;
+}
+
+[[nodiscard]] TransformedProgram transformCfcss(
+    const std::vector<std::uint8_t>& src) {
+  constexpr std::size_t kEntry = static_cast<std::size_t>(-1);
+  const auto leaders = basicBlockLeaders(src);
+  const std::size_t nb = leaders.size();
+  // Signatures are 4-bit, nonzero and distinct: 1 for the entry pseudo-node,
+  // b + 2 for block b.
+  if (nb > 14) throw TransformError("cfcss: more than 14 basic blocks");
+  constexpr std::uint8_t kSigEntry = 1;
+  auto sigOf = [&](std::size_t b) {
+    return b == kEntry ? kSigEntry : static_cast<std::uint8_t>(b + 2);
+  };
+  auto blockOf = [&](std::size_t idx) {
+    std::size_t b = 0;
+    for (std::size_t k = 0; k < nb; ++k) {
+      if (leaders[k] <= idx) b = k;
+    }
+    return b;
+  };
+
+  // Predecessor blocks (kEntry for the program start).
+  std::vector<std::vector<std::size_t>> preds(nb);
+  preds[0].push_back(kEntry);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t last = (b + 1 < nb ? leaders[b + 1] : src.size()) - 1;
+    const Op op = opOf(src[last]);
+    auto addEdge = [&](std::size_t toIdx) {
+      auto& p = preds[blockOf(toIdx)];
+      if (std::find(p.begin(), p.end(), b) == p.end()) p.push_back(b);
+    };
+    if (op == Op::Jmp) {
+      addEdge(std::size_t{operandOf(src[last])} * 4u);
+    } else if (op == Op::Jnz) {
+      addEdge(std::size_t{operandOf(src[last])} * 4u);
+      addEdge(leaders[b + 1]);  // source ends with HALT, so b+1 exists
+    } else if (op != Op::Halt && b + 1 < nb) {
+      addEdge(leaders[b + 1]);
+    }
+  }
+  for (const auto& p : preds) {
+    if (p.size() > 2) throw TransformError("cfcss: block fan-in exceeds 2");
+  }
+
+  // acc is dead at a block entry when the first source instruction fully
+  // overwrites it before anything reads it — then the check can skip the
+  // save/restore pair.
+  auto accDead = [&](std::size_t b) {
+    const std::size_t lo = leaders[b];
+    const std::size_t hi = b + 1 < nb ? leaders[b + 1] : src.size();
+    const Op first = opOf(src[lo]);
+    if (first == Op::Lda || first == Op::Halt) return true;
+    return first == Op::Ldi && lo + 1 < hi && opOf(src[lo + 1]) == Op::Ldhi;
+  };
+
+  ProgramAssembler as;
+  std::map<std::size_t, ProgramAssembler::Label> blockLabel;
+  for (std::size_t l : leaders) blockLabel.emplace(l, as.newLabel());
+  const auto trap = as.newLabel();
+  TransformStats st;
+  st.sourceInstructions = src.size();
+  st.blocks = nb;
+
+  // r1 <- sig; acc <- r3 ^ r1; mismatch branches to `onFail`.  Pass path
+  // leaves acc = 0 (so a bare LDI re-arms the signature exactly).  The LDHI
+  // clears acc's high nibble, unknown when the program value is live.
+  auto compareSig = [&](std::uint8_t sig, ProgramAssembler::Label onFail) {
+    as.emit(Op::Ldi, sig);
+    as.emit(Op::Ldhi, 0);
+    as.emit(Op::Sta, 1);
+    as.emit(Op::Lda, 3);
+    as.emit(Op::Xorr, 1);
+    as.emitBranch(Op::Jnz, onFail);
+  };
+
+  // Prologue: arm r3 with the entry signature, restore acc = 0.
+  as.emit(Op::Ldi, kSigEntry);
+  as.emit(Op::Sta, 3);
+  as.emit(Op::Ldi, 0);
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    as.place(blockLabel.at(leaders[b]));
+    const bool save = !accDead(b);
+    const auto& p = preds[b];
+    if (save) as.emit(Op::Sta, 2);
+    if (p.size() == 2) {
+      const auto second = as.newLabel();
+      const auto ok = as.newLabel();
+      compareSig(sigOf(p[0]), second);
+      as.emitBranch(Op::Jmp, ok);
+      as.place(second);
+      compareSig(sigOf(p[1]), trap);
+      as.place(ok);
+    } else {
+      // Fan-in one.  An unreachable block (dead code after a JMP) gets the
+      // never-matching signature 0, so any edge into it traps.
+      compareSig(p.empty() ? std::uint8_t{0} : sigOf(p[0]), trap);
+    }
+    as.emit(Op::Ldi, sigOf(b));
+    as.emit(Op::Sta, 3);
+    if (save) as.emit(Op::Lda, 2);
+    ++st.checks;
+
+    const std::size_t end = b + 1 < nb ? leaders[b + 1] : src.size();
+    for (std::size_t i = leaders[b]; i < end; ++i) {
+      const Op op = opOf(src[i]);
+      const std::uint8_t n = operandOf(src[i]);
+      if (isBranch(op)) {
+        as.emitBranch(op, blockLabel.at(std::size_t{n} * 4u));
+      } else {
+        as.emit(op, n);
+      }
+    }
+  }
+  as.place(trap);
+  as.emit(Op::Trap);
+  TransformedProgram out;
+  out.stats = st;
+  out.image = as.finish(Op::Trap, out.stats.emittedInstructions);
+  return out;
+}
+
+}  // namespace
+
+std::string_view swMitigationName(SwMitigation m) noexcept {
+  switch (m) {
+    case SwMitigation::None:
+      return "none";
+    case SwMitigation::Tmr:
+      return "tmr";
+    case SwMitigation::Dwc:
+      return "dwc";
+    case SwMitigation::Cfcss:
+      return "cfcss";
+  }
+  return "?";
+}
+
+std::optional<SwMitigation> swMitigationFromName(std::string_view n) noexcept {
+  if (n == "none") return SwMitigation::None;
+  if (n == "tmr") return SwMitigation::Tmr;
+  if (n == "dwc") return SwMitigation::Dwc;
+  if (n == "cfcss") return SwMitigation::Cfcss;
+  return std::nullopt;
+}
+
+bool checkTransformable(const std::vector<std::uint8_t>& source,
+                        std::string* why) {
+  auto fail = [&](std::string m) {
+    if (why) *why = std::move(m);
+    return false;
+  };
+  if (source.empty()) return fail("empty program");
+  if (source.size() > kProgWords) return fail("program exceeds 64 words");
+  if (opOf(source.back()) != Op::Halt) return fail("program must end in halt");
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const Op op = opOf(source[i]);
+    const std::uint8_t n = operandOf(source[i]);
+    switch (op) {
+      case Op::Nop:
+      case Op::Ldi:
+      case Op::Ldhi:
+      case Op::Out:
+      case Op::Halt:
+        break;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Sta:
+      case Op::Lda:
+      case Op::Xorr:
+        if (n != 0) {
+          return fail("register operand other than r0 at index " +
+                      std::to_string(i));
+        }
+        break;
+      case Op::Jnz:
+        if (i == 0 || !setsZ(opOf(source[i - 1]))) {
+          return fail("jnz at index " + std::to_string(i) +
+                      " not immediately preceded by a Z-setting op");
+        }
+        [[fallthrough]];
+      case Op::Jmp: {
+        if (std::size_t{n} * 4u >= source.size()) {
+          return fail("branch target " + std::to_string(n * 4) +
+                      " outside the program");
+        }
+        break;
+      }
+      case Op::Trap:
+        return fail("trap opcode in source at index " + std::to_string(i));
+      default:
+        return fail("undefined opcode at index " + std::to_string(i));
+    }
+  }
+  // No branch may land on a JNZ: its Z flag comes from the in-block
+  // predecessor instruction, and the transforms clobber Z between source
+  // instructions.
+  for (std::uint8_t instr : source) {
+    if (!isBranch(opOf(instr))) continue;
+    const std::size_t t = std::size_t{operandOf(instr)} * 4u;
+    if (opOf(source[t]) == Op::Jnz) {
+      return fail("branch target at index " + std::to_string(t) +
+                  " lands on a jnz");
+    }
+  }
+  if (why) why->clear();
+  return true;
+}
+
+std::vector<std::size_t> basicBlockLeaders(
+    const std::vector<std::uint8_t>& src) {
+  std::string why;
+  if (!checkTransformable(src, &why)) throw TransformError(why);
+  std::set<std::size_t> leaders{0};
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (isBranch(opOf(src[i]))) {
+      leaders.insert(std::size_t{operandOf(src[i])} * 4u);
+      if (i + 1 < src.size()) leaders.insert(i + 1);
+    }
+  }
+  return {leaders.begin(), leaders.end()};
+}
+
+TransformedProgram transformProgram(const std::vector<std::uint8_t>& source,
+                                    SwMitigation m) {
+  std::string why;
+  if (!checkTransformable(source, &why)) throw TransformError(why);
+  switch (m) {
+    case SwMitigation::None: {
+      TransformedProgram out;
+      out.image = padProgram(source);
+      out.stats.sourceInstructions = source.size();
+      out.stats.emittedInstructions = source.size();
+      return out;
+    }
+    case SwMitigation::Tmr:
+      return transformTmr(source);
+    case SwMitigation::Dwc:
+      return transformDwc(source);
+    case SwMitigation::Cfcss:
+      return transformCfcss(source);
+  }
+  throw TransformError("unknown mitigation");
+}
+
+}  // namespace socfmea::cpu

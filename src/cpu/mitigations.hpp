@@ -1,0 +1,87 @@
+// Software mitigations on tinycpu ISA programs — the COAST-style
+// compiler-inserted protections, modelled as program-to-program transforms:
+//
+//   TMR    every logical store to r0 is triplicated into r0/r1/r2 and every
+//          read is majority-voted ((a==b) ? a : c).  The two vote paths are
+//          padded to the same instruction count, so a vote that takes the
+//          minority path under a single corrupted copy produces the SAME
+//          OUT-port timing as the golden run — masking is invisible to a
+//          cycle-accurate observer, exactly as hardware voting would be.
+//          No alarm: TMR converts dangerous faults into masked ones.
+//
+//   DWC    duplication with comparison: stores write r0 and the shadow r1;
+//          before every read the copies are compared and a mismatch
+//          branches to a TRAP safe-halt (gate level: the sticky alarm_trap
+//          output).  Detect-then-stop, the software analogue of the
+//          reciprocal-comparison technique.
+//
+//   CFCSS  control-flow signature checking: the source is split into basic
+//          blocks, each block gets a compile-time signature, r3 carries the
+//          runtime signature, and every block entry verifies r3 against the
+//          signatures of its legal predecessors before re-arming it — an
+//          illegal inter-block edge (e.g. a PC-bit SEU landing on another
+//          block's entry) fails the check and TRAPs.  Classic CFCSS limits
+//          apply: an intra-block wild jump that stays ahead of the next
+//          check can escape (measured, not assumed — see DESIGN.md).
+//
+// Transformable-source contract (checkTransformable): the program uses only
+// register r0, ends with HALT, contains no TRAP and no undefined opcodes,
+// every branch target is in range, and every JNZ is immediately preceded by
+// a Z-setting op (ADD/SUB/LDA/XORR) — so the transforms may clobber Z
+// between source instructions.  CFCSS additionally requires block fan-in
+// <= 2.  Register roles after transform: TMR r0/r1/r2 copies + r3 scratch;
+// DWC r0 primary + r1 shadow + r2 scratch; CFCSS r0 data + r1 compare
+// scratch + r2 acc save + r3 signature.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace socfmea::cpu {
+
+enum class SwMitigation : std::uint8_t { None, Tmr, Dwc, Cfcss };
+
+[[nodiscard]] std::string_view swMitigationName(SwMitigation m) noexcept;
+[[nodiscard]] std::optional<SwMitigation> swMitigationFromName(
+    std::string_view n) noexcept;
+
+class TransformError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TransformStats {
+  std::size_t sourceInstructions = 0;
+  std::size_t emittedInstructions = 0;  ///< incl. alignment padding
+  std::size_t checks = 0;  ///< votes / compares / signature checks emitted
+  std::size_t blocks = 0;  ///< CFCSS basic blocks (0 for TMR/DWC)
+};
+
+struct TransformedProgram {
+  std::vector<std::uint8_t> image;  ///< padded to the full program space
+  TransformStats stats;
+};
+
+/// True iff `source` satisfies the transformable contract; a human-readable
+/// reason lands in *why on failure.
+[[nodiscard]] bool checkTransformable(const std::vector<std::uint8_t>& source,
+                                      std::string* why = nullptr);
+
+/// Applies the mitigation (None = pad only).  Throws TransformError when the
+/// source violates the contract or the transformed program exceeds the
+/// 64-word program space.
+[[nodiscard]] TransformedProgram transformProgram(
+    const std::vector<std::uint8_t>& source, SwMitigation m);
+
+/// Basic-block leader indices of a contract-clean source (exposed for the
+/// CFCSS tests: block boundaries classify which PC flips MUST be caught).
+[[nodiscard]] std::vector<std::size_t> basicBlockLeaders(
+    const std::vector<std::uint8_t>& source);
+
+}  // namespace socfmea::cpu

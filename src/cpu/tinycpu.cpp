@@ -9,6 +9,8 @@ void TinyCpu::reset() {
   z_ = false;
   out_ = 0;
   halted_ = false;
+  trapped_ = false;
+  retired_ = 0;
   outs_.clear();
 }
 
@@ -58,12 +60,18 @@ void TinyCpu::stepInstruction() {
     case Op::Jmp:
       nextPc = static_cast<std::uint8_t>(n * 4);
       break;
+    case Op::Trap:
+      trapped_ = true;
+      halted_ = true;
+      nextPc = pc_;
+      break;
     case Op::Halt:
       halted_ = true;
       nextPc = pc_;
       break;
   }
   pc_ = nextPc;
+  ++retired_;
 }
 
 std::vector<std::uint8_t> TinyCpu::run(std::size_t maxInstructions) {

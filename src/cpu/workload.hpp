@@ -23,7 +23,7 @@ class CpuWorkload final : public sim::Workload {
   }
 
   void backdoor(sim::Simulator& sim, std::uint64_t cycle) override {
-    if (cycle != 0) return;
+    if (cycle != 0 || !d_->behaviouralRom()) return;
     auto& rom = sim.memory(0);
     for (std::uint64_t a = 0; a < rom.words(); ++a) {
       rom.poke(a, program_[a]);

@@ -96,6 +96,8 @@ const std::vector<Technique> kCatalogue = {
      Hardware, DcLevel::Medium, kBoth},
     {"seq-logical-monitor", "Logical monitoring of the program sequence",
      "A.10", Software, DcLevel::Medium, kBoth},
+    {"cfcss", "Control-flow checking by software signatures (per-block)",
+     "A.10", Software, DcLevel::Medium, kBoth},
     {"seq-combined", "Combined temporal and logical program-flow monitoring",
      "A.10", Hardware, DcLevel::High, kBoth},
     {"clk-monitor", "Clock monitoring (frequency/period supervision)", "A.11",

@@ -91,8 +91,18 @@ class Reader {
     }
     if (kw == "input") {
       if (toks.size() != 2) fail("input takes one name");
-      if (nl_.findNet(toks[1])) fail("input net '" + toks[1] + "' already exists");
-      nl_.addInput(toks[1]);
+      // A net-preamble file declares the net first; attach the port cell to
+      // it (addCell rejects a driven net, so `net x / and g x ... / input x`
+      // still fails).  Without a preamble the port creates its net.
+      if (const auto id = nl_.findNet(toks[1])) {
+        try {
+          nl_.addCell(CellType::Input, toks[1] + ".in", {}, *id);
+        } catch (const NetlistError& e) {
+          fail(e.what());
+        }
+      } else {
+        nl_.addInput(toks[1]);
+      }
       return;
     }
     if (kw == "output") {
@@ -199,10 +209,12 @@ Netlist readNetlistString(const std::string& text) {
 
 void writeNetlist(std::ostream& out, const Netlist& nl) {
   out << "design " << nl.name() << "\n";
-  // Inputs first so their nets exist as ports.
-  for (CellId id = 0; id < nl.cellCount(); ++id) {
-    const Cell& c = nl.cell(id);
-    if (c.type == CellType::Input) out << "input " << netName(nl, c.output) << "\n";
+  // Net preamble in id order, then every cell in id order: the parser
+  // re-creates each net and cell at its original id, so id-keyed artifacts
+  // (zone databases, compiled-design caches) bind to a round-tripped design
+  // unchanged — the distributed job path depends on this.
+  for (NetId id = 0; id < nl.netCount(); ++id) {
+    out << "net " << netName(nl, id) << "\n";
   }
   for (MemoryId m = 0; m < nl.memoryCount(); ++m) {
     const MemoryInst& mem = nl.memory(m);
@@ -217,6 +229,7 @@ void writeNetlist(std::ostream& out, const Netlist& nl) {
     const Cell& c = nl.cell(id);
     switch (c.type) {
       case CellType::Input:
+        out << "input " << netName(nl, c.output) << "\n";
         break;
       case CellType::Output:
         out << "output " << c.name << " " << netName(nl, c.inputs[0]) << "\n";

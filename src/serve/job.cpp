@@ -78,9 +78,11 @@ namespace {
 
 /// The structural hash the worker will compute after rebuilding the design
 /// from `designSpec`.  For a text spec that is the hash of the *reparsed*
-/// netlist: the text format normalizes on the first write/parse round trip
-/// (ids may renumber; faults travel by name), so hashing the original would
-/// fail the worker's verification on any not-yet-normalized design.
+/// netlist.  The writer is id-preserving (net preamble + cells in id
+/// order), so this normally equals the original's hash — but hashing the
+/// reparse stays the rule: it is what the worker can actually compute, and
+/// it keeps hand-written or legacy `.snl` (no preamble, ids renumber on
+/// first parse) verifiable too.
 std::string specDesignHash(const netlist::Netlist& nl,
                            const obs::Json& designSpec) {
   if (const obs::Json* text = designSpec.find("text");

@@ -1,0 +1,177 @@
+#include "testkit/cpu_program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cpu/isa.hpp"
+#include "cpu/mitigations.hpp"
+
+namespace socfmea::testkit {
+namespace {
+
+using cpu::encode;
+using cpu::Op;
+
+constexpr Op kZSetters[] = {Op::Add, Op::Sub, Op::Lda, Op::Xorr};
+
+}  // namespace
+
+namespace {
+
+/// One generation attempt; returns an empty vector when the layout does not
+/// fit the program space (caller retries with fewer blocks).
+std::vector<std::uint8_t> generateOnce(sim::Rng& rng, std::size_t maxBlocks,
+                                       const ProgramOptions& opt) {
+  const std::size_t nb =
+      1 + rng.below(std::max<std::size_t>(1, std::min<std::size_t>(
+                                                 maxBlocks, 14)));
+
+  struct Block {
+    std::vector<std::uint8_t> body;  // straight-line ops, never empty
+    Op term = Op::Nop;               // Nop = fall through
+    Op zsetter = Op::Lda;            // glue before a JNZ terminator
+    std::size_t target = 0;          // successor block for JMP/JNZ
+  };
+  std::vector<Block> blocks(nb);
+  std::vector<int> jumpFanin(nb, 0);
+  std::size_t regReads = 0;
+  bool haveOut = false;
+
+  for (std::size_t b = 0; b < nb; ++b) {
+    Block& blk = blocks[b];
+    const std::size_t ops = 1 + rng.below(std::max<std::size_t>(
+                                    1, std::min<std::size_t>(opt.maxBlockOps, 8)));
+    for (std::size_t k = 0; k < ops; ++k) {
+      const double r = rng.uniform();
+      if (r < 0.30 && regReads < opt.maxRegReads) {
+        ++regReads;
+        blk.body.push_back(
+            encode(kZSetters[rng.below(4)], 0));
+      } else if (r < 0.45) {
+        blk.body.push_back(encode(Op::Sta, 0));
+      } else if (r < 0.60) {
+        blk.body.push_back(encode(Op::Out));
+        haveOut = true;
+      } else if (r < 0.70) {
+        blk.body.push_back(
+            encode(Op::Ldhi, static_cast<std::uint8_t>(rng.below(16))));
+      } else if (r < 0.75) {
+        blk.body.push_back(encode(Op::Nop));
+      } else {
+        blk.body.push_back(
+            encode(Op::Ldi, static_cast<std::uint8_t>(rng.below(16))));
+      }
+    }
+    if (b + 1 == nb) {
+      blk.term = Op::Halt;
+      continue;
+    }
+    // Forward jump targets: one jump edge per block keeps total fan-in
+    // (jump + fall-through) within the CFCSS limit of two.
+    std::vector<std::size_t> candidates;
+    for (std::size_t t = b + 1; t < nb; ++t) {
+      if (jumpFanin[t] == 0) candidates.push_back(t);
+    }
+    if (!candidates.empty() && rng.chance(0.6)) {
+      blk.target = candidates[rng.below(candidates.size())];
+      ++jumpFanin[blk.target];
+      if (regReads < opt.maxRegReads && rng.coin()) {
+        blk.term = Op::Jnz;
+        blk.zsetter = kZSetters[rng.below(4)];
+        ++regReads;
+      } else {
+        blk.term = Op::Jmp;
+      }
+    }
+  }
+  if (!haveOut) {
+    // The entry block is always reachable; make the golden run observable.
+    blocks[0].body.push_back(encode(Op::Out));
+  }
+
+  // Layout: block leaders on quadword boundaries (4-bit branch field).
+  std::vector<std::size_t> leader(nb);
+  std::size_t addr = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    leader[b] = addr;
+    std::size_t size = blocks[b].body.size();
+    if (blocks[b].term == Op::Halt || blocks[b].term == Op::Jmp) size += 1;
+    if (blocks[b].term == Op::Jnz) size += 2;
+    addr = (addr + size + 3) & ~std::size_t{3};
+  }
+  if (addr > (std::size_t{1} << cpu::kProgAddrBits) ||
+      leader[nb - 1] / 4 > 15) {
+    return {};
+  }
+
+  std::vector<std::uint8_t> prog;
+  for (std::size_t b = 0; b < nb; ++b) {
+    while (prog.size() < leader[b]) prog.push_back(encode(Op::Nop));
+    const Block& blk = blocks[b];
+    prog.insert(prog.end(), blk.body.begin(), blk.body.end());
+    const auto targetField = [&] {
+      return static_cast<std::uint8_t>(leader[blk.target] / 4);
+    };
+    switch (blk.term) {
+      case Op::Halt:
+        prog.push_back(encode(Op::Halt));
+        break;
+      case Op::Jmp:
+        prog.push_back(encode(Op::Jmp, targetField()));
+        break;
+      case Op::Jnz:
+        prog.push_back(encode(blk.zsetter, 0));
+        prog.push_back(encode(Op::Jnz, targetField()));
+        break;
+      default:
+        break;  // fall through
+    }
+  }
+
+  return prog;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> randomProgram(sim::Rng& rng,
+                                        const ProgramOptions& opt) {
+  ProgramOptions o = opt;
+  o.maxBlocks = std::max<std::size_t>(1, o.maxBlocks);
+  // On overflow — of the source layout or of any transformed image — retry
+  // with a smaller shape; converges to a single tiny block.
+  const auto shrink = [&o] {
+    if (o.maxBlocks > 1) {
+      o.maxBlocks /= 2;
+    } else if (o.maxBlockOps > 1) {
+      o.maxBlockOps /= 2;
+    } else {
+      o.maxRegReads /= 2;
+    }
+  };
+  for (;;) {
+    std::vector<std::uint8_t> prog = generateOnce(rng, o.maxBlocks, o);
+    if (prog.empty()) {
+      shrink();
+      continue;
+    }
+    std::string why;
+    if (!cpu::checkTransformable(prog, &why)) {
+      throw std::logic_error(
+          "randomProgram produced an untransformable program: " + why);
+    }
+    // Guarantee of the header doc: every mitigation pass fits the program
+    // space on a generated program.
+    try {
+      for (const auto m : {cpu::SwMitigation::Tmr, cpu::SwMitigation::Dwc,
+                           cpu::SwMitigation::Cfcss}) {
+        (void)cpu::transformProgram(prog, m);
+      }
+    } catch (const cpu::TransformError&) {
+      shrink();
+      continue;
+    }
+    return prog;
+  }
+}
+
+}  // namespace socfmea::testkit

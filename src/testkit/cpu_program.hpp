@@ -1,0 +1,32 @@
+// Seeded random tinycpu programs for the mitigation scenario suite and the
+// cross-engine fuzzer.  Every generated program satisfies the transformable
+// contract of cpu::checkTransformable — r0-only register ops, HALT
+// termination, quadword-aligned forward branch targets, every JNZ glued to
+// an in-block Z-setter, block fan-in <= 2 — so any of the software
+// mitigation passes (TMR / DWC / CFCSS) can be applied to it.  Control flow
+// is forward-only (generated programs always terminate); loop coverage
+// comes from the hand-written scenario kernel, not from the fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace socfmea::testkit {
+
+struct ProgramOptions {
+  std::size_t maxBlocks = 4;    ///< 1..14 basic blocks
+  std::size_t maxBlockOps = 4;  ///< straight-line ops per block
+  /// Budget for register-reading ops (LDA/ADD/SUB/XORR) outside branch
+  /// glue.  Keeps the TMR expansion (one 7-instruction vote per read)
+  /// inside the 64-word program space.
+  std::size_t maxRegReads = 3;
+};
+
+/// Generates a random transformable program (padding NOPs included, HALT
+/// terminated, at least one OUT on the always-reachable entry block).
+[[nodiscard]] std::vector<std::uint8_t> randomProgram(
+    sim::Rng& rng, const ProgramOptions& opt = {});
+
+}  // namespace socfmea::testkit
