@@ -27,6 +27,7 @@
 #include "serve/coordinator.hpp"
 #include "serve/job.hpp"
 #include "serve/worker.hpp"
+#include "tools/cli_common.hpp"
 
 using namespace socfmea;
 
@@ -38,53 +39,36 @@ int main(int argc, char** argv) {
 
   // --json <path>: dump the campaign (fault-list shaping, outcome metrics,
   // coverage completeness, FMEA cross-check) as one JSON document.
-  const char* jsonPath = nullptr;
-  const char* cacheDir = nullptr;
-  unsigned workers = 0;
-  inject::CampaignOptions copt;
-  inject::TierOptions topt;
+  cli::CommonFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      jsonPath = argv[++i];
-    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
-      cacheDir = argv[++i];
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
-      const auto k = serve::engineKindFromName(argv[++i]);
-      if (!k) {
-        std::cerr << "--engine: unknown engine '" << argv[i]
-                  << "' (serial | threaded | bitsliced | auto)\n";
-        return 2;
-      }
-      copt.engine = *k;
-    } else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
-      const auto m = inject::tierModeFromName(argv[++i]);
-      if (!m) {
-        std::cerr << "--tier: unknown tier '" << argv[i]
-                  << "' (abstract | exact | auto)\n";
-        return 2;
-      }
-      topt.mode = *m;
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--json <path>] [--cache-dir <dir>] [--workers N]"
-                   " [--engine <kind>] [--tier <mode>]\n"
-                   "  --engine  serial | threaded | bitsliced | auto\n"
-                   "  --tier    abstract | exact | auto (abstract ="
-                   " SET->multi-SEU sweep + exact escalation)\n";
+    std::string error;
+    const cli::FlagStatus st =
+        cli::parseCommonFlag(argc, argv, i, flags, error);
+    if (st == cli::FlagStatus::Error) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    if (st == cli::FlagStatus::NotMine) {
+      std::cerr << "usage: " << argv[0] << " " << cli::commonUsageSynopsis()
+                << "\n"
+                << cli::commonUsageDetails();
       return 2;
     }
   }
+  const char* jsonPath = flags.jsonPath;
+  const unsigned workers = flags.workers;
+  inject::CampaignOptions copt;
+  copt.engine = flags.engine;
+  inject::TierOptions topt;
+  topt.mode = flags.tier;
   const bool tiered = topt.mode != inject::TierMode::Exact;
-  std::unique_ptr<core::ArtifactStore> store;
-  if (cacheDir != nullptr) {
-    if (const auto reason = core::ArtifactStore::validateDir(cacheDir)) {
-      std::cerr << "--cache-dir: " << *reason << "\n";
-      return 2;
-    }
-    store = std::make_unique<core::ArtifactStore>(cacheDir);
+  std::string storeError;
+  auto storeOpt = cli::openStore(flags, storeError);
+  if (!storeOpt) {
+    std::cerr << storeError << "\n";
+    return 2;
   }
+  std::unique_ptr<core::ArtifactStore> store = std::move(*storeOpt);
 
   // The DUT: the v2 protection IP at gate level.
   const memsys::GateLevelDesign dut =

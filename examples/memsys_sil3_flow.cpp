@@ -31,32 +31,25 @@
 #include "obs/telemetry.hpp"
 #include "serve/job.hpp"
 #include "serve/worker.hpp"
+#include "tools/cli_common.hpp"
 
 using namespace socfmea;
 
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--json <path>] [--cache-dir <dir>] [--edit <measure>]"
-               " [--max-resim <fraction>] [--workers N]"
-               " [--engine <kind>] [--tier <mode>]\n"
-               "  --cache-dir  incremental mode: artifact store for the flow"
-               " graph / delta campaign\n"
-               "  --edit       v2 measure applied to the v1 baseline:"
+  std::cerr << "usage: " << argv0 << " " << cli::commonUsageSynopsis()
+            << "\n                        [--edit <measure>]"
+               " [--max-resim <fraction>]\n"
+            << cli::commonUsageDetails()
+            << "  --edit       v2 measure applied to the v1 baseline:"
                " none | wbuf-parity | post-coder |\n"
                "               redundant-checker | addr-in-code | v2"
                " (implies incremental mode)\n"
                "  --max-resim  fail (exit 3) when the campaign re-simulates"
                " more than this fraction\n"
-               "  --workers    shard a cold campaign over N worker processes"
-               " (implies incremental mode)\n"
-               "  --engine     campaign engine: serial | threaded | bitsliced"
-               " | auto (implies incremental mode)\n"
-               "  --tier       campaign tier: abstract | exact | auto —"
-               " abstract runs the SET->multi-SEU sweep\n"
-               "               with exact-resim escalation (implies"
-               " incremental mode)\n";
+               "(all iteration flags imply the incremental flow-graph"
+               " mode)\n";
   return 2;
 }
 
@@ -73,14 +66,15 @@ int runIncremental(const char* jsonPath, const char* cacheDir,
   }
   const memsys::GateLevelDesign dut = memsys::buildProtectionIp(gopt);
 
-  std::unique_ptr<core::ArtifactStore> store;
-  if (cacheDir != nullptr) {
-    if (const auto reason = core::ArtifactStore::validateDir(cacheDir)) {
-      std::cerr << "--cache-dir: " << *reason << "\n";
-      return 2;
-    }
-    store = std::make_unique<core::ArtifactStore>(cacheDir);
+  cli::CommonFlags storeFlags;
+  storeFlags.cacheDir = cacheDir;
+  std::string storeError;
+  auto storeOpt = cli::openStore(storeFlags, storeError);
+  if (!storeOpt) {
+    std::cerr << storeError << "\n";
+    return 2;
   }
+  std::unique_ptr<core::ArtifactStore> store = std::move(*storeOpt);
   memsys::ProtectionIpWorkload::Options wopt;
   wopt.cycles = 2000;
   core::IncrementalOptions iopt;
@@ -186,48 +180,25 @@ int main(int argc, char** argv) {
 
   // --json <path>: also emit the whole flow as one machine-readable report
   // (the document CI's metrics-gate diffs against the checked-in golden).
-  const char* jsonPath = nullptr;
-  const char* cacheDir = nullptr;
+  cli::CommonFlags flags;
   const char* edit = nullptr;
   double maxResim = -1.0;
-  unsigned workers = 0;
-  faultsim::EngineKind engine = faultsim::EngineKind::Auto;
-  inject::TierMode tier = inject::TierMode::Exact;
-  bool engineOrTierSet = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      jsonPath = argv[++i];
-    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
-      cacheDir = argv[++i];
-    } else if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
+    std::string error;
+    const cli::FlagStatus st =
+        cli::parseCommonFlag(argc, argv, i, flags, error);
+    if (st == cli::FlagStatus::Error) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+    if (st == cli::FlagStatus::Consumed) continue;
+    if (std::strcmp(argv[i], "--edit") == 0 && i + 1 < argc) {
       edit = argv[++i];
     } else if (std::strcmp(argv[i], "--max-resim") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      maxResim = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || maxResim < 0.0) {
+      if (!cli::parseFraction(argv[++i], maxResim)) {
         std::cerr << "--max-resim needs a non-negative fraction\n";
         return 2;
       }
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
-      const auto k = serve::engineKindFromName(argv[++i]);
-      if (!k) {
-        std::cerr << "--engine: unknown engine '" << argv[i]
-                  << "' (serial | threaded | bitsliced | auto)\n";
-        return 2;
-      }
-      engine = *k;
-      engineOrTierSet = true;
-    } else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
-      const auto m = inject::tierModeFromName(argv[++i]);
-      if (!m) {
-        std::cerr << "--tier: unknown tier '" << argv[i]
-                  << "' (abstract | exact | auto)\n";
-        return 2;
-      }
-      tier = *m;
-      engineOrTierSet = true;
     } else {
       return usage(argv[0]);
     }
@@ -235,10 +206,10 @@ int main(int argc, char** argv) {
 
   // Any of the iteration flags selects the incremental flow-graph mode; the
   // bare invocation below stays byte-identical for the CI metrics gate.
-  if (cacheDir != nullptr || edit != nullptr || maxResim >= 0.0 ||
-      workers > 0 || engineOrTierSet) {
-    return runIncremental(jsonPath, cacheDir, edit ? edit : "none", maxResim,
-                          workers, engine, tier);
+  if (flags.anyIterationFlag() || edit != nullptr || maxResim >= 0.0) {
+    return runIncremental(flags.jsonPath, flags.cacheDir,
+                          edit ? edit : "none", maxResim, flags.workers,
+                          flags.engine, flags.tier);
   }
 
   std::cout << "==== step 1: first implementation (v1) ====\n";
@@ -283,7 +254,7 @@ int main(int argc, char** argv) {
   std::cout << "\nfinal verdict: v2 "
             << (sil3 ? "achieves" : "DOES NOT achieve") << " SIL3 at HFT 0\n";
 
-  if (jsonPath != nullptr) {
+  if (flags.jsonPath != nullptr) {
     obs::Json report = obs::Json::object();
     report["schema"] = obs::Json("socfmea.flow_report/1");
     obs::Json v1v = obs::Json::object();
@@ -299,13 +270,13 @@ int main(int argc, char** argv) {
     // Timing / machine-dependent counters: excluded from golden diffs.
     report["telemetry"] = obs::Registry::global().toJson();
 
-    std::ofstream out(jsonPath);
+    std::ofstream out(flags.jsonPath);
     if (!out) {
-      std::cerr << "cannot open " << jsonPath << " for writing\n";
+      std::cerr << "cannot open " << flags.jsonPath << " for writing\n";
       return 2;
     }
     out << report.dump(2) << "\n";
-    std::cout << "wrote " << jsonPath << "\n";
+    std::cout << "wrote " << flags.jsonPath << "\n";
   }
   return sil3 ? 0 : 1;
 }

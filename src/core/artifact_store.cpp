@@ -55,14 +55,43 @@ void ArtifactStore::save(std::string_view stage, std::uint64_t key,
   saveFile(std::string(stage) + "-" + netlist::hashHex(key) + ".json", a);
 }
 
-std::optional<obs::Json> ArtifactStore::loadHead(std::string_view name) {
+namespace {
+
+/// File name of a head slot.  Branch names are caller-chosen identifiers
+/// (candidate ids like "dup(out/rdata_r)"), so the readable part is
+/// sanitized and a hash of the exact branch string keeps distinct branches
+/// distinct.
+std::string headFileName(std::string_view name, std::string_view branch) {
+  std::string file = "head-" + std::string(name);
+  if (!branch.empty()) {
+    file += '@';
+    for (const char c : branch.substr(0, 40)) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+      file += ok ? c : '_';
+    }
+    file += '-' + netlist::hashHex(netlist::hashString(branch));
+  }
+  return file + ".json";
+}
+
+}  // namespace
+
+std::optional<obs::Json> ArtifactStore::loadHead(std::string_view name,
+                                                 std::string_view branch) {
   // Heads are the store's one mutable slot; always re-read from disk so a
   // sibling process's saveHead is visible (no LRU).
-  return loadFile("head-" + std::string(name) + ".json", /*useLru=*/false);
+  return loadFile(headFileName(name, branch), /*useLru=*/false);
 }
 
 void ArtifactStore::saveHead(std::string_view name, const obs::Json& a) {
-  saveFile("head-" + std::string(name) + ".json", a, /*useLru=*/false);
+  saveHead(name, {}, a);
+}
+
+void ArtifactStore::saveHead(std::string_view name, std::string_view branch,
+                             const obs::Json& a) {
+  saveFile(headFileName(name, branch), a, /*useLru=*/false);
 }
 
 std::optional<std::string> ArtifactStore::validateDir(

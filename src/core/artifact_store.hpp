@@ -50,8 +50,17 @@ class ArtifactStore {
   /// the in-memory LRU: another process sharing the store directory (a
   /// campaign server's workers, parallel CI jobs) may advance the slot
   /// between calls, and a daemon must observe that, not a stale cache.
-  [[nodiscard]] std::optional<obs::Json> loadHead(std::string_view name);
+  ///
+  /// `branch` selects an independent sub-slot of `name` ("" = the base
+  /// slot).  Search workloads evaluate many candidate designs against one
+  /// warm store; without per-branch heads every candidate's save would
+  /// overwrite the one mutable snapshot and interleaved evaluations would
+  /// thrash each other's delta baseline.
+  [[nodiscard]] std::optional<obs::Json> loadHead(std::string_view name,
+                                                  std::string_view branch = {});
   void saveHead(std::string_view name, const obs::Json& a);
+  void saveHead(std::string_view name, std::string_view branch,
+                const obs::Json& a);
 
   struct Stats {
     std::size_t memoryHits = 0;

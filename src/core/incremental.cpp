@@ -239,7 +239,16 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
           // Miss: delta-merge against the previous head when possible,
           // otherwise run cold.
           if (opt_.store != nullptr && opt_.incremental) {
-            const auto head = opt_.store->loadHead(opt_.headSlot);
+            // Branch fallback chain: this branch's own head, then the
+            // parent branch (the search's accepted architecture), then the
+            // base slot — the closest warm baseline wins.
+            auto head = opt_.store->loadHead(opt_.headSlot, opt_.headBranch);
+            if (!head && !opt_.headParent.empty()) {
+              head = opt_.store->loadHead(opt_.headSlot, opt_.headParent);
+            }
+            if (!head && !opt_.headBranch.empty()) {
+              head = opt_.store->loadHead(opt_.headSlot);
+            }
             const obs::Json* text =
                 head ? head->find("design_text") : nullptr;
             const obs::Json* headOpts = head ? head->find("opts_key") : nullptr;
@@ -348,7 +357,9 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
     head["design_text"] = netlist::writeNetlistString(nl);
     head["campaign_key"] = hashHex(campaignKey);
     head["opts_key"] = hashHex(optsKey);
-    opt_.store->saveHead(opt_.headSlot, head);
+    // Writes stay on this flow's own branch: a candidate evaluation must
+    // never clobber the base slot (or a sibling candidate's branch).
+    opt_.store->saveHead(opt_.headSlot, opt_.headBranch, head);
   }
 
   obs::Registry& reg = obs::Registry::global();
@@ -390,9 +401,20 @@ IncrementalCampaign IncrementalFlow::runZoneFailureCampaign(
   if (out.distributedRun) cj["distributed"] = out.serveStats.toJson();
   cj["delta"] = out.delta.toJson();
   cj["coverage_completeness"] = cov.completeness();
-  cj["campaign"] = out.result.toJson();
+  cj["campaign"] = out.result.toJson(&db);
   lastCampaign_ = std::move(cj);
   return out;
+}
+
+IncrementalFlow::CandidateEvaluation IncrementalFlow::evaluateCandidate(
+    const netlist::Netlist& nl, FlowConfig cfg, IncrementalOptions opt,
+    sim::Workload& wl, std::size_t perBit, std::uint64_t seed,
+    std::uint64_t detectionWindow, const inject::CampaignOptions& copt) {
+  CandidateEvaluation ev;
+  ev.flow = std::make_unique<IncrementalFlow>(nl, std::move(cfg), opt);
+  ev.campaign =
+      ev.flow->runZoneFailureCampaign(wl, perBit, seed, detectionWindow, copt);
+  return ev;
 }
 
 obs::Json IncrementalFlow::report() const {

@@ -29,6 +29,15 @@ struct IncrementalOptions {
   std::uint64_t revalidateSeed = 0x5EEDCAFE;
   /// Head-slot name: one slot per (design family × workload) iteration line.
   std::string headSlot = "flow";
+  /// Head branch within the slot ("" = the base slot).  Candidate
+  /// evaluations in a search give each candidate line its own branch so
+  /// interleaved runs don't overwrite each other's delta baseline.
+  std::string headBranch;
+  /// Branch whose head seeds this branch's first delta when the branch's own
+  /// head is absent (typically the search's current accepted architecture;
+  /// "" falls through to the base slot).  Read-only fallback: this flow
+  /// never writes to the parent.
+  std::string headParent;
   /// Fingerprint of the workload configuration (folded into campaign keys;
   /// two workloads with equal tags must produce equal stimulus).
   std::uint64_t workloadTag = 0;
@@ -100,6 +109,22 @@ class IncrementalFlow {
 
   /// Flow-graph + store + last-campaign report section for --json output.
   [[nodiscard]] obs::Json report() const;
+
+  /// Batch candidate evaluation (the architecture-search entry point): one
+  /// flow + delta campaign for a candidate design over the shared warm
+  /// store.  `opt.headBranch` must name the candidate line (and
+  /// `opt.headParent` its baseline) so interleaved evaluations never thrash
+  /// each other's head snapshot.  Returns the campaign along with the flow
+  /// (for the sheet / zone database the scorer needs).
+  struct CandidateEvaluation {
+    std::unique_ptr<IncrementalFlow> flow;
+    IncrementalCampaign campaign;
+  };
+  [[nodiscard]] static CandidateEvaluation evaluateCandidate(
+      const netlist::Netlist& nl, FlowConfig cfg, IncrementalOptions opt,
+      sim::Workload& wl, std::size_t perBit, std::uint64_t seed,
+      std::uint64_t detectionWindow,
+      const inject::CampaignOptions& copt = {});
 
  private:
   const netlist::Netlist* nl_;

@@ -180,6 +180,7 @@ obs::Json FmeaSheet::toJson(std::size_t maxRows) const {
   }
 
   if (maxRows != 0) {
+    const double totalDu = totals().dangerousUndetected;
     obs::Json& rows = j["rows"];
     rows = obs::Json::array();
     for (const FmeaRow& r : rows_) {
@@ -198,6 +199,9 @@ obs::Json FmeaSheet::toJson(std::size_t maxRows) const {
       row["lambda_s"] = obs::Json(r.lambdaS);
       row["lambda_dd"] = obs::Json(r.lambdaDD);
       row["lambda_du"] = obs::Json(r.lambdaDU);
+      // Row criticality: this row's share of the design's total λDU — the
+      // per-mode view of the zone ranking above.
+      row["du_share"] = obs::Json(totalDu > 0.0 ? r.lambdaDU / totalDu : 0.0);
       rows.push_back(std::move(row));
     }
   }

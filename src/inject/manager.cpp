@@ -1,6 +1,7 @@
 #include "inject/manager.hpp"
 
 #include <algorithm>
+#include <map>
 #include <ostream>
 #include <stdexcept>
 
@@ -146,7 +147,7 @@ obs::Json OutcomeTally::toJson() const {
   return j;
 }
 
-obs::Json CampaignResult::toJson() const {
+obs::Json CampaignResult::toJson(const zones::ZoneDatabase* db) const {
   const OutcomeTally t = tally();
   obs::Json j = obs::Json::object();
   obs::Json metrics = t.toJson();
@@ -163,6 +164,52 @@ obs::Json CampaignResult::toJson() const {
   exec["checkpoint_cycles_skipped"] = obs::Json(checkpointCyclesSkipped);
   exec["converged_early"] = obs::Json(convergedEarly);
   j["execution"] = std::move(exec);
+
+  if (db != nullptr) {
+    // Per-zone criticality (Count weighting): each zone's share of the
+    // campaign's dangerous-undetected outcomes, descending.
+    struct ZoneCounts {
+      std::size_t injected = 0, activated = 0, du = 0, dd = 0;
+    };
+    std::map<zones::ZoneId, ZoneCounts> byZone;
+    std::size_t totalDu = 0;
+    for (const InjectionRecord& r : records) {
+      ZoneCounts& z = byZone[r.zone];
+      ++z.injected;
+      if (r.outcome != Outcome::NoEffect) ++z.activated;
+      if (r.outcome == Outcome::DangerousUndetected) {
+        ++z.du;
+        ++totalDu;
+      }
+      if (r.outcome == Outcome::DangerousDetected) ++z.dd;
+    }
+    std::vector<std::pair<zones::ZoneId, ZoneCounts>> ranked(byZone.begin(),
+                                                             byZone.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second.du != b.second.du) return a.second.du > b.second.du;
+      return a.first < b.first;
+    });
+    obs::Json crit = obs::Json::object();
+    crit["du_total"] = obs::Json(totalDu);
+    obs::Json zs = obs::Json::array();
+    for (const auto& [id, z] : ranked) {
+      obs::Json zj = obs::Json::object();
+      zj["zone"] = obs::Json(id != zones::kNoZone && id < db->size()
+                                 ? db->zone(id).name
+                                 : "(none)");
+      zj["injected"] = obs::Json(z.injected);
+      zj["activated"] = obs::Json(z.activated);
+      zj["du"] = obs::Json(z.du);
+      zj["dd"] = obs::Json(z.dd);
+      zj["du_share"] = obs::Json(
+          totalDu == 0 ? 0.0
+                       : static_cast<double>(z.du) /
+                             static_cast<double>(totalDu));
+      zs.push_back(std::move(zj));
+    }
+    crit["zones"] = std::move(zs);
+    j["criticality"] = std::move(crit);
+  }
   return j;
 }
 

@@ -110,7 +110,12 @@ struct CampaignResult {
   ///   "execution" — cycles simulated, checkpoint and convergence counters,
   ///                 which legitimately depend on the engine and thread
   ///                 count and are therefore excluded from golden diffs.
-  [[nodiscard]] obs::Json toJson() const;
+  /// With a zone database a third section appears:
+  ///   "criticality" — per-zone outcome counts and each zone's share of the
+  ///                 campaign's dangerous-undetected total, descending (the
+  ///                 measured input to the architecture search's ranking).
+  [[nodiscard]] obs::Json toJson(
+      const zones::ZoneDatabase* db = nullptr) const;
 };
 
 struct CampaignOptions {

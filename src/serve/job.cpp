@@ -25,10 +25,19 @@ bool applyProtectionEdit(std::string_view edit, memsys::GateLevelOptions& o) {
   return true;
 }
 
-obs::Json protectionIpDesignSpec(std::string_view edit) {
+obs::Json protectionIpDesignSpec(
+    std::string_view edit,
+    const std::vector<search::TransformSpec>& transforms) {
   obs::Json j = obs::Json::object();
   j["builder"] = "protection-ip";
   j["edit"] = std::string(edit);
+  if (!transforms.empty()) {
+    obs::Json arr = obs::Json::array();
+    for (const search::TransformSpec& t : transforms) {
+      arr.push_back(t.toJson());
+    }
+    j["transforms"] = std::move(arr);
+  }
   return j;
 }
 

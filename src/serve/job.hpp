@@ -19,6 +19,7 @@
 #include "inject/tiered.hpp"
 #include "memsys/gatelevel.hpp"
 #include "obs/json.hpp"
+#include "search/transforms.hpp"
 
 namespace socfmea::serve {
 
@@ -29,8 +30,13 @@ namespace socfmea::serve {
 [[nodiscard]] bool applyProtectionEdit(std::string_view edit,
                                        memsys::GateLevelOptions& o);
 
-/// Design spec for a builder the worker can run itself.
-[[nodiscard]] obs::Json protectionIpDesignSpec(std::string_view edit);
+/// Design spec for a builder the worker can run itself.  A non-empty
+/// `transforms` list (search/transforms.hpp wire form) is re-applied on top
+/// of the built base design under the canonical scopes, so architecture-
+/// search candidates distribute exactly like the named Section-6 edits.
+[[nodiscard]] obs::Json protectionIpDesignSpec(
+    std::string_view edit,
+    const std::vector<search::TransformSpec>& transforms = {});
 /// Design spec carrying the netlist as .snl text (any design).
 [[nodiscard]] obs::Json textDesignSpec(const netlist::Netlist& nl);
 

@@ -89,6 +89,32 @@ bool buildDesign(const obs::Json& job, WorkerContext& cx, std::string& error) {
     }
     cx.builtDesign = std::make_unique<memsys::GateLevelDesign>(
         memsys::buildProtectionIp(opt));
+    // Architecture-search candidates: re-apply the coordinator's transform
+    // list under the canonical scopes; the hash check below then proves the
+    // rebuild matched bit-for-bit.
+    if (const obs::Json* specs = design->find("transforms");
+        specs != nullptr && specs->isArray()) {
+      std::vector<search::TransformSpec> list;
+      for (const obs::Json& s : specs->elements()) {
+        const auto spec = search::TransformSpec::fromJson(s);
+        if (!spec) {
+          error = "malformed transform spec in design";
+          return false;
+        }
+        list.push_back(*spec);
+      }
+      const auto applied =
+          search::applyTransforms(cx.builtDesign->nl, list);
+      if (!applied) {
+        error = "transform did not resolve on the rebuilt base design";
+        return false;
+      }
+      for (const search::AppliedTransform& t : *applied) {
+        cx.builtDesign->alarmNames.insert(cx.builtDesign->alarmNames.end(),
+                                          t.alarmNames.begin(),
+                                          t.alarmNames.end());
+      }
+    }
     cx.nl = &cx.builtDesign->nl;
   } else {
     error = "unsupported design spec";

@@ -1,0 +1,132 @@
+#include "tools/cli_common.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/job.hpp"
+
+namespace socfmea::cli {
+
+namespace {
+
+/// Fetches the value of a "--flag <value>" pair, or fails with a message.
+const char* flagValue(int argc, char* const* argv, int& i,
+                      std::string& error) {
+  if (i + 1 >= argc) {
+    error = std::string(argv[i]) + " needs a value";
+    return nullptr;
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+FlagStatus parseCommonFlag(int argc, char* const* argv, int& i,
+                           CommonFlags& out, std::string& error) {
+  const char* arg = argv[i];
+  if (std::strcmp(arg, "--json") == 0) {
+    const char* v = flagValue(argc, argv, i, error);
+    if (v == nullptr) return FlagStatus::Error;
+    out.jsonPath = v;
+    return FlagStatus::Consumed;
+  }
+  if (std::strcmp(arg, "--cache-dir") == 0) {
+    const char* v = flagValue(argc, argv, i, error);
+    if (v == nullptr) return FlagStatus::Error;
+    out.cacheDir = v;
+    return FlagStatus::Consumed;
+  }
+  if (std::strcmp(arg, "--workers") == 0) {
+    const char* v = flagValue(argc, argv, i, error);
+    if (v == nullptr) return FlagStatus::Error;
+    if (!parseUnsigned(v, out.workers)) {
+      error = std::string("--workers: '") + v + "' is not a worker count";
+      return FlagStatus::Error;
+    }
+    return FlagStatus::Consumed;
+  }
+  if (std::strcmp(arg, "--engine") == 0) {
+    const char* v = flagValue(argc, argv, i, error);
+    if (v == nullptr) return FlagStatus::Error;
+    const auto k = serve::engineKindFromName(v);
+    if (!k) {
+      error = std::string("--engine: unknown engine '") + v +
+              "' (serial | threaded | bitsliced | auto)";
+      return FlagStatus::Error;
+    }
+    out.engine = *k;
+    out.engineSet = true;
+    return FlagStatus::Consumed;
+  }
+  if (std::strcmp(arg, "--tier") == 0) {
+    const char* v = flagValue(argc, argv, i, error);
+    if (v == nullptr) return FlagStatus::Error;
+    const auto m = inject::tierModeFromName(v);
+    if (!m) {
+      error = std::string("--tier: unknown tier '") + v +
+              "' (abstract | exact | auto)";
+      return FlagStatus::Error;
+    }
+    out.tier = *m;
+    out.tierSet = true;
+    return FlagStatus::Consumed;
+  }
+  return FlagStatus::NotMine;
+}
+
+const std::string& commonUsageSynopsis() {
+  static const std::string s =
+      "[--json <path>] [--cache-dir <dir>] [--workers N]"
+      " [--engine <kind>] [--tier <mode>]";
+  return s;
+}
+
+const std::string& commonUsageDetails() {
+  static const std::string s =
+      "  --json       machine-readable report path\n"
+      "  --cache-dir  artifact store for the flow graph / delta campaign\n"
+      "  --workers    shard campaigns over N worker processes\n"
+      "  --engine     campaign engine: serial | threaded | bitsliced | auto\n"
+      "  --tier       campaign tier: abstract | exact | auto (abstract ="
+      " SET->multi-SEU sweep\n"
+      "               with exact-resim escalation)\n";
+  return s;
+}
+
+std::optional<std::unique_ptr<core::ArtifactStore>> openStore(
+    const CommonFlags& flags, std::string& error) {
+  if (flags.cacheDir == nullptr) {
+    return std::unique_ptr<core::ArtifactStore>();
+  }
+  if (const auto reason = core::ArtifactStore::validateDir(flags.cacheDir)) {
+    error = std::string("--cache-dir: ") + *reason;
+    return std::nullopt;
+  }
+  return std::make_unique<core::ArtifactStore>(flags.cacheDir);
+}
+
+bool parseUnsigned(const char* s, unsigned& out) {
+  // Strict whole-string: strtoul's leading-whitespace / sign laxity is
+  // rejected up front.
+  if (s == nullptr || s[0] < '0' || s[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v > 0xFFFFFFFFul) {
+    return false;
+  }
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+bool parseFraction(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0.0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace socfmea::cli

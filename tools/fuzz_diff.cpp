@@ -54,6 +54,7 @@
 #include "serve/job.hpp"
 #include "serve/worker.hpp"
 #include "testkit/cpu_program.hpp"
+#include "tools/cli_common.hpp"
 #include "testkit/netlist_gen.hpp"
 #include "testkit/oracle.hpp"
 #include "testkit/plan.hpp"
@@ -130,11 +131,15 @@ Args parseArgs(int argc, char** argv) {
     } else if (arg == "--runs") {
       a.runs = std::strtoull(value(i).c_str(), nullptr, 0);
     } else if (arg == "--threads") {
-      a.threads =
-          static_cast<unsigned>(std::strtoul(value(i).c_str(), nullptr, 0));
+      if (!cli::parseUnsigned(value(i).c_str(), a.threads)) {
+        usage("--threads needs an unsigned count");
+      }
     } else if (arg == "--workers") {
-      a.workers =
-          static_cast<unsigned>(std::strtoul(value(i).c_str(), nullptr, 0));
+      // Shared-surface flag (tools/cli_common.hpp): same strict parse the
+      // campaign CLIs use.
+      if (!cli::parseUnsigned(value(i).c_str(), a.workers)) {
+        usage("--workers needs an unsigned count");
+      }
     } else if (arg == "--out") {
       a.outDir = value(i);
     } else if (arg == "--shrink") {
